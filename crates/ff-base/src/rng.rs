@@ -1,0 +1,70 @@
+//! Deterministic random-number plumbing.
+//!
+//! Every stochastic component (workload generators, disk layout jitter)
+//! takes a `u64` seed and derives an independent stream with
+//! [`split_seed`], so an entire experiment is reproducible from a single
+//! seed. We avoid `rand`'s `thread_rng` everywhere.
+
+/// The concrete RNG used across the workspace. `StdRng` (ChaCha12) is
+/// seedable, portable, and fast enough for trace generation.
+pub type SimRng = rand::rngs::StdRng;
+
+use rand::SeedableRng;
+
+/// Build the workspace RNG from a seed.
+#[inline]
+pub fn seeded_rng(seed: u64) -> SimRng {
+    SimRng::seed_from_u64(seed)
+}
+
+/// Derive an independent child seed from `(seed, stream)` with the
+/// SplitMix64 finaliser — cheap, well-mixed, and stable across releases
+/// (unlike hashing via `DefaultHasher`).
+#[inline]
+pub fn split_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a: Vec<u32> = (0..16).map(|_| seeded_rng(42).gen()).collect();
+        let b: Vec<u32> = (0..16).map(|_| seeded_rng(42).gen()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let xs: Vec<u32> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u32> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn split_seed_is_stable_and_spread() {
+        // Regression pin: children must not change across refactors, or
+        // every recorded experiment shifts.
+        assert_eq!(split_seed(0, 0), split_seed(0, 0));
+        let children: Vec<u64> = (0..64).map(|i| split_seed(12345, i)).collect();
+        let mut uniq = children.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), children.len(), "child seeds collide");
+    }
+
+    #[test]
+    fn split_seed_differs_from_parent() {
+        assert_ne!(split_seed(7, 0), 7);
+        assert_ne!(split_seed(7, 1), split_seed(7, 2));
+    }
+}

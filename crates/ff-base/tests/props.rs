@@ -1,0 +1,99 @@
+//! Property tests for the unit layer: arithmetic laws the whole
+//! simulator leans on.
+
+use ff_base::{Bytes, BytesPerSec, Dur, Joules, SimTime, Watts};
+use proptest::prelude::*;
+
+// Keep magnitudes within ~30 years of simulated time so additions cannot
+// overflow u64 microseconds in any test expression.
+const MAX_US: u64 = 1 << 50;
+
+proptest! {
+    #[test]
+    fn time_addition_is_associative(a in 0..MAX_US, b in 0..MAX_US, c in 0..MAX_US) {
+        let t = SimTime(a);
+        let (x, y) = (Dur(b), Dur(c));
+        prop_assert_eq!((t + x) + y, t + (x + y));
+    }
+
+    #[test]
+    fn instant_difference_inverts_addition(a in 0..MAX_US, b in 0..MAX_US) {
+        let t = SimTime(a);
+        let d = Dur(b);
+        prop_assert_eq!((t + d) - t, d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        prop_assert_eq!(t.saturating_since(t + d), Dur::ZERO);
+    }
+
+    #[test]
+    fn dur_scaling_distributes(a in 0u64..1 << 30, k in 0u64..1000) {
+        prop_assert_eq!(Dur(a) * k, Dur(a * k));
+        if k > 0 {
+            prop_assert!(Dur(a * k) / k == Dur(a));
+        }
+    }
+
+    #[test]
+    fn sum_equals_fold(ds in proptest::collection::vec(0u64..1 << 40, 0..20)) {
+        let total: Dur = ds.iter().map(|&d| Dur(d)).sum();
+        let fold = ds.iter().fold(Dur::ZERO, |acc, &d| acc + Dur(d));
+        prop_assert_eq!(total, fold);
+    }
+
+    #[test]
+    fn energy_is_linear_in_time(p in 0.0f64..10.0, us in 0u64..1 << 40) {
+        let half = Watts(p) * Dur(us / 2);
+        let full = Watts(p) * Dur(us);
+        // Halving time halves energy (to rounding of the odd microsecond).
+        let expect = full.get() / 2.0;
+        prop_assert!((half.get() - expect).abs() <= p / 1e6 + 1e-9);
+        prop_assert!(full.get() >= 0.0);
+    }
+
+    #[test]
+    fn relative_saving_bounds(a in 0.0f64..1e6, b in 0.0f64..1e6) {
+        let s = Joules(a).relative_saving(Joules(b));
+        // Saving is ≤ 1 (cannot save more than everything) and negative
+        // when the alternative costs more.
+        prop_assert!(s <= 1.0);
+        if a > 0.0 && b > a {
+            prop_assert!(s < 0.0);
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes(bw in 1e3f64..1e9, x in 0u64..1 << 40, y in 0u64..1 << 40) {
+        let r = BytesPerSec(bw);
+        let (lo, hi) = (x.min(y), x.max(y));
+        prop_assert!(r.transfer_time(Bytes(lo)) <= r.transfer_time(Bytes(hi)));
+    }
+
+    #[test]
+    fn transfer_time_is_antitone_in_bandwidth(n in 1u64..1 << 40, a in 1e3f64..1e9, b in 1e3f64..1e9) {
+        let (slow, fast) = (a.min(b), a.max(b));
+        prop_assert!(
+            BytesPerSec(fast).transfer_time(Bytes(n))
+                <= BytesPerSec(slow).transfer_time(Bytes(n))
+        );
+    }
+
+    #[test]
+    fn transfer_never_rounds_to_zero(n in 1u64..1 << 40, bw in 1e3f64..1e9) {
+        prop_assert!(BytesPerSec(bw).transfer_time(Bytes(n)) > Dur::ZERO);
+    }
+
+    #[test]
+    fn pages_cover_bytes(n in 0u64..1 << 40) {
+        let pages = Bytes(n).pages();
+        prop_assert!(pages * 4096 >= n);
+        if n > 0 {
+            prop_assert!((pages - 1) * 4096 < n);
+        }
+    }
+
+    #[test]
+    fn split_seed_children_are_distinct(seed in any::<u64>(), a in 0u64..1 << 20, b in 0u64..1 << 20) {
+        prop_assume!(a != b);
+        prop_assert_ne!(ff_base::split_seed(seed, a), ff_base::split_seed(seed, b));
+    }
+}

@@ -1,0 +1,79 @@
+//! Microbenchmarks of the buffer-cache substrate (§3.1 policies).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_base::{Bytes, SimTime};
+use ff_cache::{BufferCache, CacheConfig, PageKey, TwoQ};
+use ff_trace::FileId;
+
+fn bench_twoq(c: &mut Criterion) {
+    c.bench_function("twoq/touch_hit", |b| {
+        let mut q = TwoQ::new(4096);
+        let mut ev = Vec::new();
+        for i in 0..1000u64 {
+            q.touch(PageKey { file: FileId(1), index: i }, &mut ev);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 1000;
+            let mut ev = Vec::new();
+            black_box(q.touch(PageKey { file: FileId(1), index: i }, &mut ev))
+        })
+    });
+    c.bench_function("twoq/scan_with_evictions", |b| {
+        b.iter_batched(
+            || TwoQ::new(1024),
+            |mut q| {
+                let mut ev = Vec::new();
+                for i in 0..10_000u64 {
+                    q.touch(PageKey { file: FileId(2), index: i }, &mut ev);
+                }
+                black_box(ev.len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_buffer_cache(c: &mut Criterion) {
+    let size = Bytes::mib(64);
+    c.bench_function("cache/sequential_read_64k_calls", |b| {
+        b.iter_batched(
+            || BufferCache::new(CacheConfig::default()),
+            |mut cache| {
+                let mut fetched = 0u64;
+                for i in 0..512u64 {
+                    let out = cache.read(
+                        SimTime::ZERO,
+                        FileId(3),
+                        i * 65_536,
+                        Bytes::kib(64),
+                        size,
+                    );
+                    fetched += out.fetch_pages();
+                }
+                black_box(fetched)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("cache/write_and_flush", |b| {
+        b.iter_batched(
+            || BufferCache::new(CacheConfig::default()),
+            |mut cache| {
+                for i in 0..256u64 {
+                    cache.write(SimTime::from_secs(i), FileId(4), i * 4096, Bytes(4096));
+                }
+                black_box(cache.flush_all().len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("cache/resident_fraction_probe", |b| {
+        let mut cache = BufferCache::new(CacheConfig::default());
+        cache.read(SimTime::ZERO, FileId(5), 0, Bytes::mib(1), size);
+        b.iter(|| black_box(cache.resident_fraction(FileId(5), 0, Bytes::mib(1))))
+    });
+}
+
+criterion_group!(benches, bench_twoq, bench_buffer_cache);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the device power models — the inner loop of both
+//! the replayer and FlexFetch's on-line estimator (§2.2 claims the
+//! estimator's overhead is minimal; these benches quantify ours).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_base::{Bytes, SimTime};
+use ff_device::{DeviceRequest, DiskModel, DiskParams, PowerModel, WnicModel, WnicParams};
+
+fn bench_disk_service(c: &mut Criterion) {
+    c.bench_function("disk/service_sequential_64k", |b| {
+        b.iter_batched(
+            || DiskModel::new(DiskParams::hitachi_dk23da()),
+            |mut disk| {
+                let mut t = SimTime::ZERO;
+                for i in 0..100u64 {
+                    let req = DeviceRequest::read(Bytes::kib(64), Some(i * 16));
+                    let out = disk.service(t, &req);
+                    t = out.complete;
+                }
+                black_box(disk.energy())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("disk/service_random_4k", |b| {
+        b.iter_batched(
+            || DiskModel::new(DiskParams::hitachi_dk23da()),
+            |mut disk| {
+                let mut t = SimTime::ZERO;
+                for i in 0..100u64 {
+                    let req = DeviceRequest::read(Bytes(4096), Some((i * 7919) % 100_000));
+                    let out = disk.service(t, &req);
+                    t = out.complete;
+                }
+                black_box(disk.energy())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("disk/advance_through_spindown", |b| {
+        b.iter_batched(
+            || DiskModel::new(DiskParams::hitachi_dk23da()),
+            |mut disk| {
+                disk.advance_to(SimTime::from_secs(60));
+                black_box(disk.energy())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("disk/estimate_is_cheap", |b| {
+        let disk = DiskModel::new(DiskParams::hitachi_dk23da());
+        let req = DeviceRequest::read(Bytes::kib(128), Some(42));
+        b.iter(|| black_box(disk.estimate(SimTime::from_secs(1), &req)))
+    });
+}
+
+fn bench_wnic_service(c: &mut Criterion) {
+    c.bench_function("wnic/service_64k_from_psm", |b| {
+        b.iter_batched(
+            || WnicModel::new(WnicParams::cisco_aironet350()),
+            |mut wnic| {
+                let mut t = SimTime::ZERO;
+                for _ in 0..100 {
+                    let req = DeviceRequest::read(Bytes::kib(64), None);
+                    let out = wnic.service(t, &req);
+                    t = out.complete + ff_base::Dur::from_secs(3);
+                }
+                black_box(wnic.energy())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("wnic/estimate_is_cheap", |b| {
+        let wnic = WnicModel::new(WnicParams::cisco_aironet350());
+        let req = DeviceRequest::read(Bytes::kib(128), None);
+        b.iter(|| black_box(wnic.estimate(SimTime::from_secs(1), &req)))
+    });
+}
+
+criterion_group!(benches, bench_disk_service, bench_wnic_service);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks of the profiling layer: burst extraction over real
+//! workload traces and the §2.2 on-line estimator (the paper asserts
+//! "such simulation causes minimal overhead" — quantified here).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_device::{DiskModel, DiskParams, WnicModel, WnicParams};
+use ff_profile::{BurstExtractor, Estimator, Profiler};
+use ff_trace::{DiskLayout, Make, Workload};
+
+fn bench_extraction(c: &mut Criterion) {
+    let trace = Make::default().build(1);
+    c.bench_function("profile/extract_make_trace", |b| {
+        let x = BurstExtractor::default();
+        b.iter(|| black_box(x.extract(&trace).len()))
+    });
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let trace = Make::default().build(1);
+    let profile = Profiler::standard().profile(&trace);
+    let layout = DiskLayout::build(&trace.files, 7);
+    // One 40 s stage — exactly what FlexFetch evaluates at each decision.
+    let stage = profile.stages(ff_base::Dur::from_secs(40)).remove(0);
+    c.bench_function("profile/estimate_stage_disk", |b| {
+        let est = Estimator::new(&layout);
+        b.iter(|| {
+            black_box(est.disk_cost(&stage.bursts, DiskModel::new(DiskParams::hitachi_dk23da())))
+        })
+    });
+    c.bench_function("profile/estimate_stage_wnic", |b| {
+        let est = Estimator::new(&layout);
+        b.iter(|| {
+            black_box(
+                est.wnic_cost(&stage.bursts, WnicModel::new(WnicParams::cisco_aironet350())),
+            )
+        })
+    });
+    c.bench_function("profile/splice_and_stage", |b| {
+        let observed = profile.bursts[..20].to_vec();
+        b.iter(|| {
+            let spliced = profile.splice(&observed, 20);
+            black_box(spliced.stages(ff_base::Dur::from_secs(40)).len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_extraction, bench_estimator);
+criterion_main!(benches);

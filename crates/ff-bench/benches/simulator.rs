@@ -1,0 +1,76 @@
+//! End-to-end simulation benchmarks: one bench per paper experiment,
+//! regenerating the default data point of each figure (Fig. 1–5) plus a
+//! per-policy comparison on the grep workload. `cargo bench` therefore
+//! exercises every evaluation scenario; the full sweeps live in the
+//! `fig1`–`fig5` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ff_bench::Scenario;
+use ff_policy::PolicyKind;
+use ff_sim::{SimConfig, Simulation};
+use ff_trace::{Grep, Workload};
+
+fn run(scenario: &Scenario, kind: PolicyKind) -> f64 {
+    let cfg = scenario.configure(SimConfig::default());
+    Simulation::new(cfg, &scenario.trace)
+        .policy(kind)
+        .run()
+        .unwrap()
+        .total_energy()
+        .get()
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    let fig1 = Scenario::grep_make(42);
+    g.bench_function("fig1_grep_make_flexfetch", |b| {
+        b.iter(|| black_box(run(&fig1, PolicyKind::flexfetch(fig1.profile.clone()))))
+    });
+    let fig2 = Scenario::mplayer(42);
+    g.bench_function("fig2_mplayer_flexfetch", |b| {
+        b.iter(|| black_box(run(&fig2, PolicyKind::flexfetch(fig2.profile.clone()))))
+    });
+    let fig3 = Scenario::thunderbird(42);
+    g.bench_function("fig3_thunderbird_flexfetch", |b| {
+        b.iter(|| black_box(run(&fig3, PolicyKind::flexfetch(fig3.profile.clone()))))
+    });
+    let fig4 = Scenario::grep_make_xmms(42);
+    g.bench_function("fig4_forced_spinup_flexfetch", |b| {
+        b.iter(|| black_box(run(&fig4, PolicyKind::flexfetch(fig4.profile.clone()))))
+    });
+    let fig5 = Scenario::acroread_invalid(42);
+    g.bench_function("fig5_invalid_profile_flexfetch", |b| {
+        b.iter(|| black_box(run(&fig5, PolicyKind::flexfetch(fig5.profile.clone()))))
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policies_on_grep");
+    g.sample_size(20);
+    let trace = Grep::default().build(9);
+    let profile = ff_profile::Profiler::standard().profile(&Grep::default().build(10));
+    for (name, kind) in [
+        ("disk_only", PolicyKind::DiskOnly),
+        ("wnic_only", PolicyKind::WnicOnly),
+        ("bluefs", PolicyKind::BlueFs),
+        ("flexfetch", PolicyKind::flexfetch(profile)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    Simulation::new(SimConfig::default(), &trace)
+                        .policy(kind.clone())
+                        .run()
+                        .unwrap()
+                        .total_energy(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! Ablation studies over the design knobs DESIGN.md calls out: what do
+//! the paper's parameter choices (20 ms burst threshold, 40 s stages,
+//! 25 % loss rate, 20 s disk timeout, 2Q + 32-page readahead cache) buy?
+//!
+//! Each study holds everything else at the defaults and sweeps one knob
+//! on the grep+make scenario (FlexFetch) — or, where noted, a baseline.
+
+use ff_base::{Bytes, Dur, Joules};
+use ff_bench::Scenario;
+use ff_trace::Workload as _;
+use ff_cache::CacheConfig;
+use ff_policy::{BlueFs, FlexFetch, FlexFetchConfig, PolicyKind};
+use ff_profile::BurstExtractor;
+use ff_sim::{SimConfig, Simulation};
+
+fn run_flexfetch(scenario: &Scenario, cfg: SimConfig, pcfg: FlexFetchConfig) -> (f64, f64) {
+    let cfg = scenario.configure(cfg);
+    let policy = FlexFetch::new(scenario.profile.clone(), pcfg);
+    let r = Simulation::new(cfg, &scenario.trace)
+        .policy_boxed(Box::new(policy))
+        .run()
+        .unwrap();
+    (r.total_energy().get(), r.exec_time.as_secs_f64())
+}
+
+fn main() {
+    let s = Scenario::grep_make(42);
+    println!("ablations on grep+make (seed 42); defaults marked *\n");
+
+    println!("== loss rate (§2.2 rule 3; default 0.25) ==");
+    println!("{:>10} {:>12} {:>10}", "loss", "energy", "time");
+    for loss in [0.0, 0.10, 0.25, 0.50, 1.00] {
+        let pcfg = FlexFetchConfig { loss_rate: loss, ..Default::default() };
+        let (e, t) = run_flexfetch(&s, SimConfig::default(), pcfg);
+        let mark = if loss == 0.25 { "*" } else { " " };
+        println!("{loss:>9}{mark} {e:>11.1}J {t:>9.1}s");
+    }
+
+    println!("\n== evaluation stage length (§2.2; default 40 s) ==");
+    println!("{:>10} {:>12} {:>10}", "stage", "energy", "time");
+    for secs in [10u64, 20, 40, 80, 160] {
+        let pcfg = FlexFetchConfig { stage_len: Dur::from_secs(secs), ..Default::default() };
+        let cfg = SimConfig { stage_len: Dur::from_secs(secs), ..Default::default() };
+        let (e, t) = run_flexfetch(&s, cfg, pcfg);
+        let mark = if secs == 40 { "*" } else { " " };
+        println!("{:>9}{mark} {e:>11.1}J {t:>9.1}s", format!("{secs}s"));
+    }
+
+    println!("\n== burst threshold (§2.1; default 20 ms = disk access time) ==");
+    println!("(the recorded profile is re-extracted with each threshold)");
+    println!("{:>10} {:>12} {:>10} {:>8}", "thresh", "energy", "time", "bursts");
+    let prior = ff_trace::Grep::default()
+        .build(43)
+        .concat(&ff_trace::Make::default().build(43), Dur::from_secs(2))
+        .unwrap();
+    for ms in [2u64, 10, 20, 50, 200] {
+        let extractor =
+            BurstExtractor { threshold: Dur::from_millis(ms), ..Default::default() };
+        let profile = ff_profile::Profile {
+            app: prior.name.clone(),
+            bursts: extractor.extract(&prior),
+        };
+        let pcfg = FlexFetchConfig { extractor, ..Default::default() };
+        let policy = FlexFetch::new(profile.clone(), pcfg);
+        let r = Simulation::new(s.configure(SimConfig::default()), &s.trace)
+            .policy_boxed(Box::new(policy))
+            .run()
+            .unwrap();
+        let mark = if ms == 20 { "*" } else { " " };
+        println!(
+            "{:>9}{mark} {:>11.1}J {:>9.1}s {:>8}",
+            format!("{ms}ms"),
+            r.total_energy().get(),
+            r.exec_time.as_secs_f64(),
+            profile.len()
+        );
+    }
+
+    println!("\n== audit hysteresis margin (default 0.10) ==");
+    println!("{:>10} {:>12} {:>10}", "margin", "energy", "time");
+    for m in [0.0, 0.05, 0.10, 0.30] {
+        let pcfg = FlexFetchConfig { audit_margin: m, ..Default::default() };
+        let (e, t) = run_flexfetch(&s, SimConfig::default(), pcfg);
+        let mark = if m == 0.10 { "*" } else { " " };
+        println!("{m:>9}{mark} {e:>11.1}J {t:>9.1}s");
+    }
+
+    println!("\n== disk spin-down timeout (laptop-mode default 20 s) ==");
+    println!("{:>10} {:>12} {:>12}", "timeout", "FlexFetch", "Disk-only");
+    for secs in [5u64, 10, 20, 40, 120] {
+        let mut cfg = SimConfig::default();
+        cfg.disk.timeout = Dur::from_secs(secs);
+        let (e, _) = run_flexfetch(&s, cfg.clone(), FlexFetchConfig::default());
+        let r = Simulation::new(s.configure(cfg), &s.trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        let mark = if secs == 20 { "*" } else { " " };
+        println!("{:>9}{mark} {e:>11.1}J {:>11.1}J", format!("{secs}s"), r.total_energy().get());
+    }
+
+    println!("\n== buffer-cache capacity (default 32768 pages = 128 MiB) ==");
+    println!("{:>10} {:>12} {:>8}", "pages", "energy", "hit%");
+    for pages in [2048usize, 8192, 32_768, 131_072] {
+        let mut cfg = SimConfig::default();
+        cfg.cache.capacity_pages = pages;
+        let cfgd = s.configure(cfg.clone());
+        let r = Simulation::new(cfgd, &s.trace)
+            .policy(PolicyKind::flexfetch(s.profile.clone()))
+            .run()
+            .unwrap();
+        let mark = if pages == 32_768 { "*" } else { " " };
+        println!(
+            "{pages:>9}{mark} {:>11.1}J {:>7.1}%",
+            r.total_energy().get(),
+            r.hit_ratio() * 100.0
+        );
+    }
+
+    println!("\n== readahead window (default 32 pages = 128 KiB; 0 = off) ==");
+    println!("{:>10} {:>12} {:>10} {:>10}", "pages", "energy", "disk reqs", "wnic reqs");
+    for ra in [0u64, 8, 32, 128] {
+        let cfg = SimConfig {
+            cache: CacheConfig { readahead_max_pages: ra, ..CacheConfig::default() },
+            ..Default::default()
+        };
+        let r = Simulation::new(s.configure(cfg), &s.trace)
+            .policy(PolicyKind::flexfetch(s.profile.clone()))
+            .run()
+            .unwrap();
+        let mark = if ra == 32 { "*" } else { " " };
+        println!(
+            "{ra:>9}{mark} {:>11.1}J {:>10} {:>10}",
+            r.total_energy().get(),
+            r.disk_requests,
+            r.wnic_requests
+        );
+    }
+
+    println!("\n== BlueFS ghost-hint threshold (default 7.94 J = spin round trip) ==");
+    println!("{:>10} {:>12}", "threshold", "energy");
+    for j in [2.0, 7.94, 20.0, 100.0] {
+        let policy = BlueFs::with_threshold(Joules(j));
+        let r = Simulation::new(s.configure(SimConfig::default()), &s.trace)
+            .policy_boxed(Box::new(policy))
+            .run()
+            .unwrap();
+        let mark = if (j - 7.94).abs() < 1e-9 { "*" } else { " " };
+        println!("{j:>9}{mark} {:>11.1}J", r.total_energy().get());
+    }
+
+    println!("\n== BlueFS adaptive spin-down (default: none / 20 s system timeout) ==");
+    println!("{:>10} {:>12}", "timeout", "energy");
+    for secs in [2u64, 5, 20] {
+        let policy = BlueFs::new().with_disk_timeout(Dur::from_secs(secs));
+        let r = Simulation::new(s.configure(SimConfig::default()), &s.trace)
+            .policy_boxed(Box::new(policy))
+            .run()
+            .unwrap();
+        let mark = if secs == 20 { "*" } else { " " };
+        println!("{:>9}{mark} {:>11.1}J", format!("{secs}s"), r.total_energy().get());
+    }
+
+    println!("\n== single-packet PSM service (Table 2 adaptive PM; default 1500 B) ==");
+    println!("{:>10} {:>12}", "psm pkt", "energy");
+    for bytes in [0u64, 1500, 4096] {
+        let mut cfg = SimConfig::default();
+        cfg.wnic.psm_packet_bytes = bytes;
+        let r = Simulation::new(s.configure(cfg), &s.trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        let mark = if bytes == 1500 { "*" } else { " " };
+        println!("{bytes:>9}{mark} {:>11.1}J", r.total_energy().get());
+    }
+    let _ = Bytes::ZERO;
+}

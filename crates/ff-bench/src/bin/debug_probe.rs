@@ -1,0 +1,41 @@
+//! Diagnostics: per-policy energy breakdown and the FlexFetch decision
+//! timeline for the grep+make scenario. Usage: `debug_probe [latency_ms]`.
+
+use ff_base::Dur;
+use ff_bench::{standard_policies, Scenario};
+use ff_sim::{SimConfig, Simulation};
+
+fn main() {
+    let lat_ms: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let scenario = Scenario::grep_make(42);
+    for kind in standard_policies(&scenario) {
+        let cfg = scenario.configure(
+            SimConfig::default().with_wnic_latency(Dur::from_millis(lat_ms)),
+        );
+        let r = Simulation::new(cfg, &scenario.trace).policy(kind).run().unwrap();
+        println!("{}", r.summary());
+        print!("  disk: ");
+        for (s, d, e) in r.disk_meter.residencies() {
+            print!("{s}={d}/{e} ");
+        }
+        for (s, n, e) in r.disk_meter.transitions() {
+            print!("{s}x{n}={e} ");
+        }
+        println!();
+        print!("  wnic: ");
+        for (s, d, e) in r.wnic_meter.residencies() {
+            print!("{s}={d}/{e} ");
+        }
+        for (s, n, e) in r.wnic_meter.transitions() {
+            print!("{s}x{n}={e} ");
+        }
+        println!();
+        if !r.decisions.is_empty() {
+            println!("  decisions:");
+            for (t, s, why) in &r.decisions {
+                println!("    {t} -> {} ({why})", s.label());
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,71 @@
+//! The disk/WNIC phase diagram (extension).
+//!
+//! §1.1 argues the network wins when *"a small amount of data is
+//! requested"* intermittently and the disk wins bursts; this experiment
+//! maps the whole plane. A synthetic paced workload sweeps request size
+//! × think time; each cell shows which fixed device is cheaper, and
+//! whether FlexFetch (given an accurate profile) picked the winner.
+//!
+//! Legend: `D` disk cheaper, `W` WNIC cheaper; lowercase = FlexFetch
+//! missed the winner (paid >5 % over the better fixed device).
+
+use ff_base::{Bytes, Dist};
+use ff_policy::PolicyKind;
+use ff_profile::Profiler;
+use ff_sim::{SimConfig, Simulation};
+use ff_trace::{AccessPattern, Synthetic, Workload};
+
+fn workload(chunk_kib: u64, think_secs: f64) -> Synthetic {
+    Synthetic {
+        name: "phase",
+        files: 8,
+        total_bytes: 64_000_000,
+        size_dist: Dist::Constant(1.0),
+        chunk: Bytes::kib(chunk_kib),
+        think_dist: Dist::Constant(think_secs),
+        pattern: AccessPattern::PacedStream,
+        requests: 120,
+        base_inode: 90_000,
+        pid: 900,
+    }
+}
+
+fn main() {
+    let chunks = [4u64, 16, 64, 256, 1024];
+    let thinks = [0.05, 0.2, 1.0, 2.0, 5.0, 10.0, 30.0];
+
+    println!("disk/WNIC phase diagram — paced reads, 120 requests, 11 Mbps / 1 ms");
+    println!("rows: think time between requests; cols: request size\n");
+    print!("{:>9}", "think\\req");
+    for c in chunks {
+        print!(" {:>7}", format!("{c}KiB"));
+    }
+    println!();
+
+    for &think in &thinks {
+        print!("{:>8}s", think);
+        for &chunk in &chunks {
+            let w = workload(chunk, think);
+            let trace = w.build(42);
+            let profile = Profiler::standard().profile(&w.build(43));
+            let run = |kind: PolicyKind| {
+                Simulation::new(SimConfig::default(), &trace)
+                    .policy(kind)
+                    .run()
+                    .unwrap()
+                    .total_energy()
+                    .get()
+            };
+            let disk = run(PolicyKind::DiskOnly);
+            let wnic = run(PolicyKind::WnicOnly);
+            let ff = run(PolicyKind::flexfetch(profile));
+            let winner = if disk <= wnic { 'D' } else { 'W' };
+            let best = disk.min(wnic);
+            let matched = ff <= best * 1.05;
+            let cell = if matched { winner } else { winner.to_ascii_lowercase() };
+            print!(" {cell:>7}");
+        }
+        println!();
+    }
+    println!("\nD/W = cheaper fixed device; lowercase = FlexFetch >5% above it");
+}

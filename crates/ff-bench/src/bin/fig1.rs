@@ -1,0 +1,18 @@
+//! Figure 1 — *grep+make*: energy consumption with various WNIC
+//! latencies (a, 11 Mbps fixed) and bandwidths (b, 1 ms fixed), §3.3.1.
+
+use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table, standard_policies};
+use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
+
+fn main() {
+    let scenario = Scenario::grep_make(42);
+    let policies = standard_policies(&scenario);
+
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    print_table("Fig 1(a) grep+make: energy vs WNIC latency", "lat(ms)", &a);
+    print_csv(&a);
+
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    print_table("Fig 1(b) grep+make: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_csv(&b);
+}

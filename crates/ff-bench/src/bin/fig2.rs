@@ -1,0 +1,20 @@
+//! Figure 2 — *mplayer*: energy consumption with various WNIC latencies
+//! (a) and bandwidths (b), §3.3.2. Expected shape: FlexFetch tracks
+//! WNIC-only across latency; BlueFS exceeds Disk-only; below ~2 Mbps
+//! FlexFetch switches to the disk.
+
+use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table, standard_policies};
+use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
+
+fn main() {
+    let scenario = Scenario::mplayer(42);
+    let policies = standard_policies(&scenario);
+
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    print_table("Fig 2(a) mplayer: energy vs WNIC latency", "lat(ms)", &a);
+    print_csv(&a);
+
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    print_table("Fig 2(b) mplayer: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_csv(&b);
+}

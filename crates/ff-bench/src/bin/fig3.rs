@@ -1,0 +1,21 @@
+//! Figure 3 — *Thunderbird*: energy consumption with various WNIC
+//! latencies (a) and bandwidths (b), §3.3.3. Expected shape: Disk-only
+//! expensive (small interactive reads); WNIC-only crosses above it at
+//! high latency; FlexFetch below BlueFS; both largely insensitive to
+//! bandwidth (the WNIC carries only the small initial reads).
+
+use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table, standard_policies};
+use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
+
+fn main() {
+    let scenario = Scenario::thunderbird(42);
+    let policies = standard_policies(&scenario);
+
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    print_table("Fig 3(a) thunderbird: energy vs WNIC latency", "lat(ms)", &a);
+    print_csv(&a);
+
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    print_table("Fig 3(b) thunderbird: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_csv(&b);
+}

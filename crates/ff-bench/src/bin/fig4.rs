@@ -1,0 +1,28 @@
+//! Figure 4 — *grep+make ∥ xmms* (forced disk spin-up), §3.3.4. The MP3
+//! library exists only on the local disk, so the disk stays awake;
+//! adaptive FlexFetch free-rides it while FlexFetch-static wastes the
+//! WNIC. Expected shape: FlexFetch well below FlexFetch-static at low
+//! latency; the curves merge as latency rises.
+
+use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table};
+use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
+use ff_policy::PolicyKind;
+
+fn main() {
+    let scenario = Scenario::grep_make_xmms(42);
+    let policies = vec![
+        PolicyKind::flexfetch(scenario.profile.clone()),
+        PolicyKind::flexfetch_static(scenario.profile.clone()),
+        PolicyKind::BlueFs,
+        PolicyKind::DiskOnly,
+        PolicyKind::WnicOnly,
+    ];
+
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    print_table("Fig 4(a) grep+make||xmms: energy vs WNIC latency", "lat(ms)", &a);
+    print_csv(&a);
+
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    print_table("Fig 4(b) grep+make||xmms: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_csv(&b);
+}

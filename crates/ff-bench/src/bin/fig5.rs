@@ -1,0 +1,29 @@
+//! Figure 5 — *Acroread* with an invalid profile, §3.3.5. The recorded
+//! profile (2 MB PDFs every 25 s → WNIC looks right) mispredicts the
+//! current run (20 MB PDFs every 10 s → the disk is right). Expected
+//! shape: FlexFetch corrects after one evaluation stage and lands well
+//! below FlexFetch-static, but somewhat above BlueFS (which reacts
+//! per-request and never trusted the profile).
+
+use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table};
+use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
+use ff_policy::PolicyKind;
+
+fn main() {
+    let scenario = Scenario::acroread_invalid(42);
+    let policies = vec![
+        PolicyKind::flexfetch(scenario.profile.clone()),
+        PolicyKind::flexfetch_static(scenario.profile.clone()),
+        PolicyKind::BlueFs,
+        PolicyKind::DiskOnly,
+        PolicyKind::WnicOnly,
+    ];
+
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    print_table("Fig 5(a) acroread (invalid profile): energy vs WNIC latency", "lat(ms)", &a);
+    print_csv(&a);
+
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    print_table("Fig 5(b) acroread (invalid profile): energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_csv(&b);
+}

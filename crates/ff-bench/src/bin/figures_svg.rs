@@ -1,0 +1,69 @@
+//! Render every §3.3 figure as an SVG chart into `results/` — the same
+//! sweeps the `fig1`–`fig5` binaries print, drawn.
+
+use ff_bench::{
+    bandwidth_sweep, latency_sweep, line_chart, rows_to_series, standard_policies,
+    Scenario, BANDWIDTHS_MBPS, LATENCIES_MS,
+};
+use ff_policy::PolicyKind;
+
+fn save(name: &str, title: &str, x_label: &str, rows: &[ff_bench::Row]) {
+    std::fs::create_dir_all("results").expect("results dir");
+    let svg = line_chart(title, x_label, "energy (J)", &rows_to_series(rows));
+    let path = format!("results/{name}.svg");
+    std::fs::write(&path, svg).expect("write svg");
+    println!("wrote {path}");
+}
+
+fn main() {
+    for (i, scenario) in [
+        Scenario::grep_make(42),
+        Scenario::mplayer(42),
+        Scenario::thunderbird(42),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let n = i + 1;
+        let policies = standard_policies(scenario);
+        let a = latency_sweep(scenario, &policies, &LATENCIES_MS);
+        save(
+            &format!("fig{n}a"),
+            &format!("Fig {n}(a) {}: energy vs WNIC latency", scenario.name),
+            "WNIC latency (ms)",
+            &a,
+        );
+        let b = bandwidth_sweep(scenario, &policies, &BANDWIDTHS_MBPS);
+        save(
+            &format!("fig{n}b"),
+            &format!("Fig {n}(b) {}: energy vs WNIC bandwidth", scenario.name),
+            "WNIC bandwidth (Mbps)",
+            &b,
+        );
+    }
+    for (n, scenario) in
+        [(4, Scenario::grep_make_xmms(42)), (5, Scenario::acroread_invalid(42))]
+    {
+        let policies = vec![
+            PolicyKind::flexfetch(scenario.profile.clone()),
+            PolicyKind::flexfetch_static(scenario.profile.clone()),
+            PolicyKind::BlueFs,
+            PolicyKind::DiskOnly,
+            PolicyKind::WnicOnly,
+        ];
+        let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+        save(
+            &format!("fig{n}a"),
+            &format!("Fig {n}(a) {}: energy vs WNIC latency", scenario.name),
+            "WNIC latency (ms)",
+            &a,
+        );
+        let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+        save(
+            &format!("fig{n}b"),
+            &format!("Fig {n}(b) {}: energy vs WNIC bandwidth", scenario.name),
+            "WNIC bandwidth (Mbps)",
+            &b,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Export a chronological power trace of one simulation as CSV
+//! (`t_start_s,t_end_s,device,state,watts`), suitable for gnuplot — the
+//! kind of power timeline energy papers plot.
+//!
+//! Usage: `powertrace [policy]` with policy one of
+//! `flexfetch|bluefs|disk|wnic` (default flexfetch); the scenario is the
+//! paper's mplayer streaming workload, whose disk/WNIC alternation is
+//! the most visually instructive.
+
+use ff_bench::Scenario;
+use ff_device::PowerEvent;
+use ff_policy::PolicyKind;
+use ff_sim::{SimConfig, Simulation};
+
+fn dump(device: &str, log: &[PowerEvent]) {
+    let mut t = 0.0f64;
+    for e in log {
+        match e {
+            PowerEvent::Dwell { state, power, dur } => {
+                let end = t + dur.as_secs_f64();
+                println!("{t:.6},{end:.6},{device},{state},{:.3}", power.get());
+                t = end;
+            }
+            PowerEvent::Transition { name, energy } => {
+                println!("{t:.6},{t:.6},{device},{name},{:.3}", energy.get());
+            }
+        }
+    }
+}
+
+fn main() {
+    let policy = std::env::args().nth(1).unwrap_or_else(|| "flexfetch".into());
+    let s = Scenario::mplayer(42);
+    let kind = match policy.as_str() {
+        "flexfetch" => PolicyKind::flexfetch(s.profile.clone()),
+        "bluefs" => PolicyKind::BlueFs,
+        "disk" => PolicyKind::DiskOnly,
+        "wnic" => PolicyKind::WnicOnly,
+        other => {
+            eprintln!("unknown policy {other}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = s.configure(SimConfig::default());
+    cfg.record_power_log = true;
+    let report = Simulation::new(cfg, &s.trace).policy(kind).run().unwrap();
+    eprintln!("# {}", report.summary());
+    println!("t_start_s,t_end_s,device,state,watts_or_joules");
+    dump("disk", report.disk_meter.power_log().expect("enabled"));
+    dump("wnic", report.wnic_meter.power_log().expect("enabled"));
+}

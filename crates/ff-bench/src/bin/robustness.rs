@@ -1,0 +1,82 @@
+//! Multi-seed robustness: every qualitative ordering pinned in
+//! `tests/figures.rs` is re-checked across many workload seeds. A
+//! reproduction that only holds for one random corpus is not a
+//! reproduction; this sweeps the generators' randomness.
+
+use ff_bench::Scenario;
+use ff_policy::PolicyKind;
+use ff_sim::{SimConfig, Simulation};
+
+struct Tally {
+    name: &'static str,
+    held: usize,
+    total: usize,
+}
+
+impl Tally {
+    fn check(&mut self, ok: bool, seed: u64) {
+        self.total += 1;
+        if ok {
+            self.held += 1;
+        } else {
+            println!("  !! {} violated at seed {seed}", self.name);
+        }
+    }
+}
+
+fn energy(s: &Scenario, kind: PolicyKind) -> f64 {
+    Simulation::new(s.configure(SimConfig::default()), &s.trace)
+        .policy(kind)
+        .run()
+        .unwrap()
+        .total_energy()
+        .get()
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..10).map(|i| 1000 + i * 77).collect();
+    let mut t1 = Tally { name: "fig1: FF < WNIC < Disk ≤ BlueFS·1.05", held: 0, total: 0 };
+    let mut t2 = Tally { name: "fig2: FF within 10% of WNIC; BlueFS > Disk", held: 0, total: 0 };
+    let mut t3 = Tally { name: "fig3: FF wins outright", held: 0, total: 0 };
+    let mut t4 = Tally { name: "fig4: free-ride saves ≥10% vs static", held: 0, total: 0 };
+    let mut t5 = Tally { name: "fig5: static/1.15 > FF > BlueFS", held: 0, total: 0 };
+
+    for &seed in &seeds {
+        let s = Scenario::grep_make(seed);
+        let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
+        let bf = energy(&s, PolicyKind::BlueFs);
+        let d = energy(&s, PolicyKind::DiskOnly);
+        let w = energy(&s, PolicyKind::WnicOnly);
+        t1.check(ff < w && w < d && bf > d * 0.95, seed);
+
+        let s = Scenario::mplayer(seed);
+        let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
+        let bf = energy(&s, PolicyKind::BlueFs);
+        let d = energy(&s, PolicyKind::DiskOnly);
+        let w = energy(&s, PolicyKind::WnicOnly);
+        t2.check((ff - w).abs() / w < 0.10 && bf > d * 0.99, seed);
+
+        let s = Scenario::thunderbird(seed);
+        let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
+        let bf = energy(&s, PolicyKind::BlueFs);
+        let d = energy(&s, PolicyKind::DiskOnly);
+        let w = energy(&s, PolicyKind::WnicOnly);
+        t3.check(ff < bf && ff < d && ff < w, seed);
+
+        let s = Scenario::grep_make_xmms(seed);
+        let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
+        let st = energy(&s, PolicyKind::flexfetch_static(s.profile.clone()));
+        t4.check(ff < st * 0.90, seed);
+
+        let s = Scenario::acroread_invalid(seed);
+        let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
+        let st = energy(&s, PolicyKind::flexfetch_static(s.profile.clone()));
+        let bf = energy(&s, PolicyKind::BlueFs);
+        t5.check(ff < st * 0.90 && ff > bf, seed);
+    }
+
+    println!("\n{} seeds: {:?}\n", seeds.len(), seeds);
+    for t in [&t1, &t2, &t3, &t4, &t5] {
+        println!("{:<45} {}/{}", t.name, t.held, t.total);
+    }
+}

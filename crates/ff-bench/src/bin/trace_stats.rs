@@ -1,0 +1,41 @@
+//! Characterise every Table 3 workload: burstiness, think times,
+//! sequentiality, request sizes, and access skew — the statistics
+//! §1.2/§2.1 argue make program I/O predictable, measured over the
+//! generated traces.
+
+use ff_base::Dur;
+use ff_trace::{analyze, Acroread, Grep, Make, Mplayer, Thunderbird, Trace, Workload, Xmms};
+
+fn main() {
+    let workloads: Vec<(&str, Trace)> = vec![
+        ("grep", Grep::default().build(42)),
+        ("make", Make::default().build(42)),
+        ("xmms", Xmms { play_limit: Some(Dur::from_secs(600)), ..Default::default() }.build(42)),
+        ("mplayer", Mplayer::default().build(42)),
+        ("thunderbird", Thunderbird::default().build(42)),
+        ("acroread", Acroread::large_search().build(42)),
+    ];
+    println!(
+        "{:<13} {:>8} {:>8} {:>7} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "workload", "calls", "bursty%", "seq%", "read%", "think p50", "think p90", "avg req", "top10%"
+    );
+    for (name, trace) in &workloads {
+        let a = analyze(trace);
+        let think = a.think_times.expect("non-empty traces");
+        println!(
+            "{:<13} {:>8} {:>7.1}% {:>6.1}% {:>8.1}% {:>10} {:>10} {:>8} {:>7.1}%",
+            name,
+            trace.len(),
+            a.burstiness * 100.0,
+            a.sequentiality * 100.0,
+            a.read_fraction * 100.0,
+            think.p50.to_string(),
+            think.p90.to_string(),
+            a.mean_request.to_string(),
+            a.top_decile_share * 100.0,
+        );
+    }
+    println!("\nbursty% = inter-call gaps under the 20 ms burst threshold");
+    println!("seq%    = requests sequentially extending the previous one on the same file");
+    println!("top10%  = share of bytes in the hottest decile of files");
+}

@@ -1,0 +1,27 @@
+//! # ff-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§3):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `tables` | Tables 1–3 (device constants, workload inventory) |
+//! | `fig1` | Fig. 1(a)/(b) — grep+make energy vs WNIC latency / bandwidth |
+//! | `fig2` | Fig. 2(a)/(b) — mplayer |
+//! | `fig3` | Fig. 3(a)/(b) — Thunderbird |
+//! | `fig4` | Fig. 4(a)/(b) — grep+make ∥ xmms (forced spin-up) |
+//! | `fig5` | Fig. 5(a)/(b) — Acroread with an invalid profile |
+//! | `ablation` | design-knob studies (stage length, loss rate, …) |
+//!
+//! Each binary prints the figure's series as an aligned table and a CSV
+//! block, so results can be diffed against EXPERIMENTS.md.
+
+pub mod scenarios;
+pub mod svg;
+pub mod sweep;
+
+pub use scenarios::Scenario;
+pub use svg::{line_chart, rows_to_series};
+pub use sweep::{
+    bandwidth_sweep, latency_sweep, print_csv, print_table, standard_policies, Row,
+    BANDWIDTHS_MBPS, LATENCIES_MS,
+};

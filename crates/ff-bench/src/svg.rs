@@ -1,0 +1,249 @@
+//! Minimal self-contained SVG line charts for the figure binaries — no
+//! plotting dependency, just enough to render the §3.3 energy curves
+//! (`results/*.svg`).
+
+use crate::sweep::Row;
+
+/// One plotted line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` points, any order; rendering sorts by x.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Group sweep rows into one series per policy (insertion order kept).
+pub fn rows_to_series(rows: &[Row]) -> Vec<Series> {
+    let mut out: Vec<Series> = Vec::new();
+    for r in rows {
+        match out.iter_mut().find(|s| s.name == r.policy) {
+            Some(s) => s.points.push((r.x, r.energy_j)),
+            None => out.push(Series {
+                name: r.policy.clone(),
+                points: vec![(r.x, r.energy_j)],
+            }),
+        }
+    }
+    for s in &mut out {
+        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+    }
+    out
+}
+
+const W: f64 = 640.0;
+const H: f64 = 420.0;
+const ML: f64 = 70.0; // left margin
+const MR: f64 = 20.0;
+const MT: f64 = 40.0;
+const MB: f64 = 55.0;
+const PALETTE: [&str; 6] =
+    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    if hi <= lo {
+        return vec![lo];
+    }
+    let raw = (hi - lo) / n as f64;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| s >= raw)
+        .unwrap_or(mag * 10.0);
+    let start = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut t = start;
+    while t <= hi + step * 1e-9 {
+        out.push(t);
+        t += step;
+    }
+    out
+}
+
+fn fmt_num(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 10.0 {
+        format!("{:.1}", v).trim_end_matches(".0").to_string()
+    } else {
+        format!("{:.2}", v).trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+/// Render a line chart. Y always starts at zero (energy comparisons are
+/// only honest with a zero baseline).
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let (xmin, xmax) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+    let ymax = ys.iter().fold(0.0f64, |a, &v| a.max(v)) * 1.05;
+    let (xmin, xmax) = if xmin.is_finite() { (xmin, xmax.max(xmin + 1e-9)) } else { (0.0, 1.0) };
+    let ymax = if ymax > 0.0 { ymax } else { 1.0 };
+
+    let px = |x: f64| ML + (x - xmin) / (xmax - xmin) * (W - ML - MR);
+    let py = |y: f64| H - MB - y / ymax * (H - MT - MB);
+
+    let mut svg = String::with_capacity(8192);
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}" font-family="sans-serif">"#
+    ));
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    svg.push_str(&format!(
+        r#"<text x="{}" y="24" text-anchor="middle" font-size="15" font-weight="bold">{}</text>"#,
+        W / 2.0,
+        title
+    ));
+
+    // Axes.
+    svg.push_str(&format!(
+        r#"<line x1="{ML}" y1="{0}" x2="{1}" y2="{0}" stroke="black"/>"#,
+        H - MB,
+        W - MR
+    ));
+    svg.push_str(&format!(
+        r#"<line x1="{ML}" y1="{MT}" x2="{ML}" y2="{}" stroke="black"/>"#,
+        H - MB
+    ));
+    for t in nice_ticks(xmin, xmax, 6) {
+        let x = px(t);
+        svg.push_str(&format!(
+            r#"<line x1="{x:.1}" y1="{0}" x2="{x:.1}" y2="{1}" stroke="black"/>"#,
+            H - MB,
+            H - MB + 5.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{x:.1}" y="{}" text-anchor="middle" font-size="11">{}</text>"#,
+            H - MB + 18.0,
+            fmt_num(t)
+        ));
+    }
+    for t in nice_ticks(0.0, ymax, 6) {
+        let y = py(t);
+        svg.push_str(&format!(
+            r#"<line x1="{0}" y1="{y:.1}" x2="{ML}" y2="{y:.1}" stroke="black"/>"#,
+            ML - 5.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{:.1}" text-anchor="end" font-size="11">{}</text>"#,
+            ML - 8.0,
+            y + 4.0,
+            fmt_num(t)
+        ));
+        svg.push_str(&format!(
+            r##"<line x1="{ML}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#dddddd"/>"##,
+            W - MR
+        ));
+    }
+    svg.push_str(&format!(
+        r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+        (ML + W - MR) / 2.0,
+        H - 14.0,
+        x_label
+    ));
+    svg.push_str(&format!(
+        r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {})">{}</text>"#,
+        (MT + H - MB) / 2.0,
+        (MT + H - MB) / 2.0,
+        y_label
+    ));
+
+    // Series lines + markers + legend.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
+            .collect();
+        svg.push_str(&format!(
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+            path.join(" ")
+        ));
+        for &(x, y) in &s.points {
+            svg.push_str(&format!(
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3" fill="{color}"/>"#,
+                px(x),
+                py(y)
+            ));
+        }
+        let ly = MT + 8.0 + i as f64 * 18.0;
+        svg.push_str(&format!(
+            r#"<line x1="{0}" y1="{ly:.1}" x2="{1}" y2="{ly:.1}" stroke="{color}" stroke-width="3"/>"#,
+            W - MR - 150.0,
+            W - MR - 125.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{:.1}" font-size="12">{}</text>"#,
+            W - MR - 118.0,
+            ly + 4.0,
+            s.name
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row { policy: "A".into(), x: 0.0, energy_j: 10.0, time_s: 1.0 },
+            Row { policy: "B".into(), x: 0.0, energy_j: 20.0, time_s: 1.0 },
+            Row { policy: "A".into(), x: 5.0, energy_j: 15.0, time_s: 1.0 },
+            Row { policy: "B".into(), x: 5.0, energy_j: 12.0, time_s: 1.0 },
+        ]
+    }
+
+    #[test]
+    fn series_grouping_preserves_order_and_sorts_x() {
+        let s = rows_to_series(&rows());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "A");
+        assert_eq!(s[0].points, vec![(0.0, 10.0), (5.0, 15.0)]);
+    }
+
+    #[test]
+    fn chart_is_valid_ish_svg() {
+        let s = rows_to_series(&rows());
+        let svg = line_chart("Fig X", "latency (ms)", "energy (J)", &s);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Fig X"));
+        assert!(svg.contains("energy (J)"));
+        // Every coordinate within the canvas.
+        for cap in svg.split("cx=\"").skip(1) {
+            let v: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!((0.0..=W).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nice_ticks_cover_range() {
+        let t = nice_ticks(0.0, 30.0, 6);
+        assert!(t.len() >= 4 && t.len() <= 8, "{t:?}");
+        assert!(t[0] >= 0.0 && *t.last().unwrap() <= 30.0 + 1e-9);
+        // Degenerate range.
+        assert_eq!(nice_ticks(5.0, 5.0, 6), vec![5.0]);
+    }
+
+    #[test]
+    fn empty_series_renders() {
+        let svg = line_chart("empty", "x", "y", &[]);
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let s = vec![Series { name: "solo".into(), points: vec![(2.0, 3.0)] }];
+        let svg = line_chart("one", "x", "y", &s);
+        assert!(svg.contains("circle"));
+    }
+}

@@ -1,0 +1,204 @@
+//! C-SCAN request scheduling with contiguous merging.
+//!
+//! §3.1: the simulator emulates *"the C-SCAN I/O request scheduling
+//! mechanism"*; §2.1 notes that schedulers *"re-arrange pending requests
+//! and merge requests for contiguous data blocks"*. The elevator sweeps
+//! block addresses in one direction only: it dispatches the lowest-
+//! addressed pending request at or above the head position, and when the
+//! sweep passes the highest request it jumps back to the lowest pending
+//! address (the "circular" in C-SCAN).
+
+use std::collections::BTreeMap;
+
+/// One pending disk request in block units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRequest {
+    /// First block.
+    pub start: u64,
+    /// Number of blocks.
+    pub blocks: u64,
+    /// Opaque tag the caller uses to map completions back (request id).
+    pub tag: u64,
+}
+
+impl BlockRequest {
+    /// Exclusive end block.
+    pub fn end(&self) -> u64 {
+        self.start + self.blocks
+    }
+}
+
+/// A C-SCAN elevator queue over block addresses.
+#[derive(Debug, Clone, Default)]
+pub struct CScanQueue {
+    /// Pending requests keyed by start block (one per start; merges fold
+    /// contiguous neighbours together).
+    pending: BTreeMap<u64, BlockRequest>,
+    /// Current head position (block address of the last dispatch end).
+    head: u64,
+}
+
+impl CScanQueue {
+    /// Empty queue with the head at block 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending (possibly merged) requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True iff nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Current head position.
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// Enqueue a request, merging with block-contiguous neighbours
+    /// (front and back). Overlapping requests are merged conservatively
+    /// into their union.
+    pub fn push(&mut self, req: BlockRequest) {
+        let mut start = req.start;
+        let mut end = req.end();
+        let tag = req.tag;
+
+        // Merge with a predecessor that touches or overlaps us.
+        if let Some((&pstart, prev)) = self.pending.range(..=start).next_back() {
+            if prev.end() >= start {
+                start = pstart;
+                end = end.max(prev.end());
+                self.pending.remove(&pstart);
+            }
+        }
+        // Merge with successors we touch or overlap.
+        while let Some((&nstart, next)) = self.pending.range(start..).next() {
+            if nstart <= end {
+                end = end.max(next.end());
+                self.pending.remove(&nstart);
+            } else {
+                break;
+            }
+        }
+        self.pending.insert(start, BlockRequest { start, blocks: end - start, tag });
+    }
+
+    /// Dispatch the next request per C-SCAN order: the lowest start at or
+    /// above the head, wrapping to the lowest overall when the sweep is
+    /// exhausted. Advances the head past the dispatched request.
+    pub fn pop(&mut self) -> Option<BlockRequest> {
+        let key = self
+            .pending
+            .range(self.head..)
+            .next()
+            .or_else(|| self.pending.iter().next())
+            .map(|(&k, _)| k)?;
+        let req = self.pending.remove(&key).expect("key just observed");
+        self.head = req.end();
+        Some(req)
+    }
+
+    /// Drain everything in dispatch order.
+    pub fn drain_sweep(&mut self) -> Vec<BlockRequest> {
+        let mut out = Vec::with_capacity(self.pending.len());
+        while let Some(r) = self.pop() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(start: u64, blocks: u64) -> BlockRequest {
+        BlockRequest { start, blocks, tag: start }
+    }
+
+    #[test]
+    fn dispatches_in_ascending_order_from_head() {
+        let mut q = CScanQueue::new();
+        q.push(req(50, 1));
+        q.push(req(10, 1));
+        q.push(req(90, 1));
+        let order: Vec<u64> = q.drain_sweep().iter().map(|r| r.start).collect();
+        assert_eq!(order, vec![10, 50, 90]);
+    }
+
+    #[test]
+    fn wraps_around_like_cscan_not_scan() {
+        let mut q = CScanQueue::new();
+        q.push(req(50, 1));
+        let first = q.pop().unwrap();
+        assert_eq!(first.start, 50);
+        // Head is now 51; a request below must wait for the wrap but is
+        // still served (ascending from the bottom, not reversing).
+        q.push(req(10, 1));
+        q.push(req(60, 1));
+        let order: Vec<u64> = q.drain_sweep().iter().map(|r| r.start).collect();
+        assert_eq!(order, vec![60, 10], "C-SCAN serves upward first, then wraps to lowest");
+    }
+
+    #[test]
+    fn contiguous_requests_merge() {
+        let mut q = CScanQueue::new();
+        q.push(req(10, 5)); // 10..15
+        q.push(req(15, 5)); // 15..20 — back-contiguous
+        assert_eq!(q.len(), 1);
+        let r = q.pop().unwrap();
+        assert_eq!((r.start, r.blocks), (10, 10));
+    }
+
+    #[test]
+    fn front_merge_works_too() {
+        let mut q = CScanQueue::new();
+        q.push(req(15, 5)); // 15..20
+        q.push(req(10, 5)); // 10..15 — front-contiguous
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().start, 10);
+    }
+
+    #[test]
+    fn overlapping_requests_take_the_union() {
+        let mut q = CScanQueue::new();
+        q.push(req(10, 10)); // 10..20
+        q.push(req(15, 10)); // 15..25
+        assert_eq!(q.len(), 1);
+        let r = q.pop().unwrap();
+        assert_eq!((r.start, r.end()), (10, 25));
+    }
+
+    #[test]
+    fn merge_chain_across_several_pending() {
+        let mut q = CScanQueue::new();
+        q.push(req(10, 2));
+        q.push(req(14, 2));
+        q.push(req(18, 2));
+        assert_eq!(q.len(), 3);
+        // 12..18 touches all three.
+        q.push(req(12, 6));
+        assert_eq!(q.len(), 1);
+        let r = q.pop().unwrap();
+        assert_eq!((r.start, r.end()), (10, 20));
+    }
+
+    #[test]
+    fn non_contiguous_stay_separate() {
+        let mut q = CScanQueue::new();
+        q.push(req(10, 2));
+        q.push(req(20, 2));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn empty_pop_is_none() {
+        let mut q = CScanQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+}

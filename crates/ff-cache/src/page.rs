@@ -1,0 +1,54 @@
+//! Page identity.
+
+use ff_base::size::PAGE_SIZE;
+use ff_trace::FileId;
+
+/// One 4 KiB page of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageKey {
+    /// The file (inode).
+    pub file: FileId,
+    /// Page index within the file (offset / 4096).
+    pub index: u64,
+}
+
+impl PageKey {
+    /// Key of the page containing byte `offset` of `file`.
+    pub fn containing(file: FileId, offset: u64) -> Self {
+        PageKey { file, index: offset / PAGE_SIZE }
+    }
+
+    /// Byte offset of the first byte of this page.
+    pub fn byte_offset(&self) -> u64 {
+        self.index * PAGE_SIZE
+    }
+}
+
+/// Iterate the page indices covering `len` bytes at `offset`.
+pub fn pages_covering(offset: u64, len: u64) -> std::ops::RangeInclusive<u64> {
+    debug_assert!(len > 0);
+    let first = offset / PAGE_SIZE;
+    let last = (offset + len - 1) / PAGE_SIZE;
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_and_back() {
+        let k = PageKey::containing(FileId(3), 10_000);
+        assert_eq!(k.index, 2);
+        assert_eq!(k.byte_offset(), 8192);
+    }
+
+    #[test]
+    fn covering_ranges() {
+        assert_eq!(pages_covering(0, 1).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(pages_covering(0, 4096).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(pages_covering(0, 4097).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(pages_covering(4095, 2).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(pages_covering(8192, 8192).collect::<Vec<_>>(), vec![2, 3]);
+    }
+}

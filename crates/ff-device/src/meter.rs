@@ -1,0 +1,229 @@
+//! Per-state time and energy accounting.
+
+use ff_base::{Dur, Joules, Watts};
+use std::collections::BTreeMap;
+
+/// One chronological entry of the optional power log.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PowerEvent {
+    /// Dwelled in `state` at `power` for `dur`.
+    Dwell {
+        /// State name.
+        state: &'static str,
+        /// Constant power during the segment.
+        power: Watts,
+        /// Segment length.
+        dur: Dur,
+    },
+    /// A zero-width transition consuming `energy`.
+    Transition {
+        /// Transition name.
+        name: &'static str,
+        /// Lump-sum energy.
+        energy: Joules,
+    },
+}
+
+/// Accumulates residency time and energy per named device state, plus
+/// counted one-shot transition energies (spin-ups, mode switches).
+///
+/// Keys are `&'static str` state names so the meter is shared between
+/// the two device types and prints uniformly in reports.
+#[derive(Debug, Clone, Default)]
+pub struct StateMeter {
+    residency: BTreeMap<&'static str, (Dur, Joules)>,
+    transitions: BTreeMap<&'static str, (u64, Joules)>,
+    total: Joules,
+    /// Chronological power log (None = disabled; dwells arrive in time
+    /// order because the models account time single-threadedly).
+    log: Option<Vec<PowerEvent>>,
+}
+
+impl StateMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start recording a chronological power log (costs memory
+    /// proportional to state changes; off by default).
+    pub fn enable_log(&mut self) {
+        self.log.get_or_insert_with(Vec::new);
+    }
+
+    /// The chronological power log, if recording was enabled.
+    pub fn power_log(&self) -> Option<&[PowerEvent]> {
+        self.log.as_deref()
+    }
+
+    /// Account `d` spent in `state` drawing `power`.
+    pub fn dwell(&mut self, state: &'static str, power: Watts, d: Dur) {
+        if d.is_zero() {
+            return;
+        }
+        if let Some(log) = &mut self.log {
+            // Coalesce with the previous segment when the state repeats.
+            if let Some(PowerEvent::Dwell { state: s, power: p, dur }) = log.last_mut() {
+                if *s == state && *p == power {
+                    *dur += d;
+                } else {
+                    log.push(PowerEvent::Dwell { state, power, dur: d });
+                }
+            } else {
+                log.push(PowerEvent::Dwell { state, power, dur: d });
+            }
+        }
+        let e = power * d;
+        let entry = self.residency.entry(state).or_insert((Dur::ZERO, Joules::ZERO));
+        entry.0 += d;
+        entry.1 += e;
+        self.total += e;
+    }
+
+    /// Account a one-shot transition (e.g. a spin-up) costing `energy`.
+    pub fn transition(&mut self, name: &'static str, energy: Joules) {
+        if let Some(log) = &mut self.log {
+            log.push(PowerEvent::Transition { name, energy });
+        }
+        let entry = self.transitions.entry(name).or_insert((0, Joules::ZERO));
+        entry.0 += 1;
+        entry.1 += energy;
+        self.total += energy;
+    }
+
+    /// Total energy accounted.
+    pub fn total(&self) -> Joules {
+        self.total
+    }
+
+    /// Time spent in `state` so far.
+    pub fn time_in(&self, state: &str) -> Dur {
+        self.residency.get(state).map(|&(d, _)| d).unwrap_or(Dur::ZERO)
+    }
+
+    /// Energy spent dwelling in `state` so far.
+    pub fn energy_in(&self, state: &str) -> Joules {
+        self.residency.get(state).map(|&(_, e)| e).unwrap_or(Joules::ZERO)
+    }
+
+    /// Number of `name` transitions so far.
+    pub fn transition_count(&self, name: &str) -> u64 {
+        self.transitions.get(name).map(|&(n, _)| n).unwrap_or(0)
+    }
+
+    /// Energy spent on `name` transitions so far.
+    pub fn transition_energy(&self, name: &str) -> Joules {
+        self.transitions.get(name).map(|&(_, e)| e).unwrap_or(Joules::ZERO)
+    }
+
+    /// Iterate state residencies in name order.
+    pub fn residencies(&self) -> impl Iterator<Item = (&'static str, Dur, Joules)> + '_ {
+        self.residency.iter().map(|(&k, &(d, e))| (k, d, e))
+    }
+
+    /// Iterate transition tallies in name order.
+    pub fn transitions(&self) -> impl Iterator<Item = (&'static str, u64, Joules)> + '_ {
+        self.transitions.iter().map(|(&k, &(n, e))| (k, n, e))
+    }
+
+    /// Zero everything (reuse the device across stages/experiments).
+    pub fn reset(&mut self) {
+        self.residency.clear();
+        self.transitions.clear();
+        self.total = Joules::ZERO;
+        if let Some(log) = &mut self.log {
+            log.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dwell_accumulates_time_and_energy() {
+        let mut m = StateMeter::new();
+        m.dwell("idle", Watts(1.6), Dur::from_secs(10));
+        m.dwell("idle", Watts(1.6), Dur::from_secs(5));
+        assert_eq!(m.time_in("idle"), Dur::from_secs(15));
+        assert!((m.energy_in("idle").get() - 24.0).abs() < 1e-9);
+        assert!((m.total().get() - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_dwell_is_free() {
+        let mut m = StateMeter::new();
+        m.dwell("idle", Watts(1.6), Dur::ZERO);
+        assert_eq!(m.total(), Joules::ZERO);
+        assert_eq!(m.residencies().count(), 0);
+    }
+
+    #[test]
+    fn transitions_count_and_cost() {
+        let mut m = StateMeter::new();
+        m.transition("spin_up", Joules(5.0));
+        m.transition("spin_up", Joules(5.0));
+        m.transition("spin_down", Joules(2.94));
+        assert_eq!(m.transition_count("spin_up"), 2);
+        assert!((m.transition_energy("spin_up").get() - 10.0).abs() < 1e-12);
+        assert!((m.total().get() - 12.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = StateMeter::new();
+        m.dwell("active", Watts(2.0), Dur::from_secs(1));
+        m.transition("spin_up", Joules(5.0));
+        m.reset();
+        assert_eq!(m.total(), Joules::ZERO);
+        assert_eq!(m.time_in("active"), Dur::ZERO);
+        assert_eq!(m.transition_count("spin_up"), 0);
+    }
+
+    #[test]
+    fn power_log_is_chronological_and_coalesced() {
+        let mut m = StateMeter::new();
+        m.enable_log();
+        m.dwell("idle", Watts(1.6), Dur::from_secs(1));
+        m.dwell("idle", Watts(1.6), Dur::from_secs(2)); // coalesces
+        m.transition("spin_down", Joules(2.94));
+        m.dwell("standby", Watts(0.15), Dur::from_secs(5));
+        let log = m.power_log().unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log[0],
+            PowerEvent::Dwell { state: "idle", power: Watts(1.6), dur: Dur::from_secs(3) }
+        );
+        assert!(matches!(log[1], PowerEvent::Transition { name: "spin_down", .. }));
+        // Log energy equals meter total.
+        let log_e: f64 = log
+            .iter()
+            .map(|e| match e {
+                PowerEvent::Dwell { power, dur, .. } => (*power * *dur).get(),
+                PowerEvent::Transition { energy, .. } => energy.get(),
+            })
+            .sum();
+        assert!((log_e - m.total().get()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_disabled_by_default_and_cleared_on_reset() {
+        let mut m = StateMeter::new();
+        m.dwell("idle", Watts(1.0), Dur::from_secs(1));
+        assert!(m.power_log().is_none());
+        m.enable_log();
+        m.dwell("idle", Watts(1.0), Dur::from_secs(1));
+        assert_eq!(m.power_log().unwrap().len(), 1);
+        m.reset();
+        assert!(m.power_log().unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_keys_read_as_zero() {
+        let m = StateMeter::new();
+        assert_eq!(m.time_in("nope"), Dur::ZERO);
+        assert_eq!(m.energy_in("nope"), Joules::ZERO);
+        assert_eq!(m.transition_count("nope"), 0);
+    }
+}

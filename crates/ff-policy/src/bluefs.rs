@@ -1,0 +1,298 @@
+//! The BlueFS-like reactive baseline (§1.2, §3.3).
+//!
+//! The paper characterises BlueFS (Nightingale & Flinn, OSDI'04) as a
+//! scheme that (a) has *"no knowledge of future accesses and solely
+//! relies on the recent history of data accesses and current storage
+//! device status"*, (b) dispatches each request to the device *"currently
+//! of the lowest access cost"*, and (c) issues *"ghost hints"* to the
+//! disk when accumulated opportunity cost suggests that an active disk
+//! would have been cheaper — spinning the disk up once the foregone
+//! savings exceed the wake-up cost.
+
+use crate::source::{AppRequest, Policy, PolicyCtx, Source};
+use ff_base::{Dur, Joules};
+use ff_device::{DeviceRequest, Dir, DiskModel, PowerModel, ServiceOutcome};
+use ff_trace::IoOp;
+
+/// Reactive lowest-current-cost selection with ghost hints.
+#[derive(Debug, Clone)]
+pub struct BlueFs {
+    /// Accumulated opportunity cost: energy the WNIC spent beyond what an
+    /// *already-spinning* disk would have spent on the same requests.
+    ghost_hint: Joules,
+    /// Spin the disk up when the hint passes this threshold (defaults to
+    /// the spin-up + spin-down round trip, 7.94 J for the DK23DA).
+    threshold: Joules,
+    /// Optional disk spin-down timeout override (ablation knob). The
+    /// paper-faithful default is `None`: BlueFS rides the standard 20 s
+    /// laptop-mode timeout, so once ghost hints wake the disk it idles at
+    /// 1.6 W while small requests keep flowing to the WNIC in CAM — the
+    /// paper's "significant energy consumption for both devices".
+    timeout_override: Option<Dur>,
+}
+
+impl BlueFs {
+    /// Baseline with the DK23DA wake-cost threshold.
+    pub fn new() -> Self {
+        BlueFs {
+            ghost_hint: Joules::ZERO,
+            threshold: Joules(5.0 + 2.94),
+            timeout_override: None,
+        }
+    }
+
+    /// Override the ghost-hint threshold (ablation).
+    pub fn with_threshold(threshold: Joules) -> Self {
+        BlueFs { threshold, ..BlueFs::new() }
+    }
+
+    /// Override the disk spin-down timeout (ablation: an energy-adaptive
+    /// BlueFS variant that parks the disk aggressively).
+    pub fn with_disk_timeout(mut self, timeout: Dur) -> Self {
+        self.timeout_override = Some(timeout);
+        self
+    }
+
+    /// Current accumulated hint (test/inspection hook).
+    pub fn ghost_hint(&self) -> Joules {
+        self.ghost_hint
+    }
+
+    pub(crate) fn to_dev(req: &AppRequest, block: Option<u64>) -> DeviceRequest {
+        DeviceRequest {
+            dir: match req.op {
+                IoOp::Read => Dir::Read,
+                IoOp::Write => Dir::Write,
+            },
+            bytes: req.len,
+            block,
+        }
+    }
+}
+
+impl Default for BlueFs {
+    fn default() -> Self {
+        BlueFs::new()
+    }
+}
+
+impl Policy for BlueFs {
+    fn name(&self) -> &'static str {
+        "BlueFS"
+    }
+
+    fn select(&mut self, ctx: &PolicyCtx<'_>, req: &AppRequest) -> Source {
+        let block = ctx.layout.block_of(req.file, req.offset);
+        let disk_req = Self::to_dev(req, block);
+        let wnic_req = Self::to_dev(req, None);
+
+        let disk_cost = ctx.disk.estimate(ctx.now, &disk_req).energy;
+        let wnic_cost = ctx.wnic.estimate(ctx.now, &wnic_req).energy;
+
+        if disk_cost < wnic_cost {
+            return Source::Disk;
+        }
+
+        // WNIC is cheaper *given the current disk state*; take it, but
+        // check whether accumulated ghost hints have paid for a wake-up.
+        if self.ghost_hint > self.threshold {
+            self.ghost_hint = Joules::ZERO;
+            return Source::Disk;
+        }
+        Source::Wnic
+    }
+
+    fn observe(
+        &mut self,
+        ctx: &PolicyCtx<'_>,
+        req: &AppRequest,
+        source: Option<Source>,
+        outcome: &ServiceOutcome,
+    ) {
+        match source {
+            None => {} // cache hit — no device evidence either way
+            Some(Source::Disk) => {
+                // The disk is spinning now; stale hints no longer apply.
+                self.ghost_hint = Joules::ZERO;
+            }
+            Some(Source::Wnic) => {
+                // Ghost hint from *measured* energy: what the network
+                // actually charged (wake-ups included) beyond what an
+                // already-spinning disk would have charged.
+                let block = ctx.layout.block_of(req.file, req.offset);
+                let active_disk = DiskModel::new(ctx.disk.params().clone());
+                let active_cost = active_disk
+                    .estimate(ff_base::SimTime::ZERO, &Self::to_dev(req, block))
+                    .energy;
+                if outcome.energy > active_cost {
+                    self.ghost_hint += outcome.energy - active_cost;
+                }
+            }
+        }
+    }
+
+    fn disk_timeout_override(&self) -> Option<Dur> {
+        self.timeout_override
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_base::{Bytes, SimTime};
+    use ff_device::{DiskParams, WnicModel, WnicParams};
+    use ff_trace::{DiskLayout, FileId, FileMeta, FileSet};
+
+    struct World {
+        disk: DiskModel,
+        wnic: WnicModel,
+        layout: DiskLayout,
+    }
+
+    fn world(disk_standby: bool) -> World {
+        let mut fs = FileSet::new();
+        fs.insert(FileMeta { id: FileId(1), name: "f".into(), size: Bytes::mib(100) });
+        let layout = DiskLayout::build(&fs, 1);
+        let disk = if disk_standby {
+            DiskModel::new_standby(DiskParams::hitachi_dk23da())
+        } else {
+            DiskModel::new(DiskParams::hitachi_dk23da())
+        };
+        World { disk, wnic: WnicModel::new(WnicParams::cisco_aironet350()), layout }
+    }
+
+    fn ctx<'a>(w: &'a World, resident: &'a dyn Fn(FileId, u64, Bytes) -> f64) -> PolicyCtx<'a> {
+        PolicyCtx {
+            now: SimTime::ZERO,
+            disk: &w.disk,
+            wnic: &w.wnic,
+            layout: &w.layout,
+            resident,
+        }
+    }
+
+    fn req(len: u64) -> AppRequest {
+        AppRequest { file: FileId(1), op: IoOp::Read, offset: 0, len: Bytes(len) }
+    }
+
+    #[test]
+    fn standby_disk_small_request_goes_to_wnic() {
+        let w = world(true);
+        let nores = |_: FileId, _: u64, _: Bytes| 0.0;
+        let mut p = BlueFs::new();
+        // 64 KiB from standby disk: 5 J spin-up ≫ WNIC wake-up (0.51 J).
+        assert_eq!(p.select(&ctx(&w, &nores), &req(65_536)), Source::Wnic);
+    }
+
+    #[test]
+    fn spinning_disk_wins_requests() {
+        let w = world(false);
+        let nores = |_: FileId, _: u64, _: Bytes| 0.0;
+        let mut p = BlueFs::new();
+        // Disk idle & spinning: ~40 ms of active power ≪ WNIC wake + xfer.
+        assert_eq!(p.select(&ctx(&w, &nores), &req(65_536)), Source::Disk);
+    }
+
+    /// Drive one select→observe round as the simulator would: the
+    /// observed energy is what the live WNIC would actually charge.
+    fn round(p: &mut BlueFs, w: &World, len: u64) -> Source {
+        let nores = |_: FileId, _: u64, _: Bytes| 0.0;
+        let c = ctx(w, &nores);
+        let r = req(len);
+        let src = p.select(&c, &r);
+        if src == Source::Wnic {
+            let est = w
+                .wnic
+                .estimate(SimTime::ZERO, &BlueFs::to_dev(&r, None));
+            let out = ff_device::ServiceOutcome {
+                complete: est.complete,
+                service_time: est.service_time,
+                energy: est.energy,
+            };
+            p.observe(&c, &r, Some(Source::Wnic), &out);
+        }
+        src
+    }
+
+    #[test]
+    fn ghost_hints_eventually_spin_the_disk_up() {
+        let w = world(true);
+        let mut p = BlueFs::new();
+        let mut sources = Vec::new();
+        // Many large reads from a sleeping disk: WNIC at first, but the
+        // accumulated measured opportunity cost must flip one to the disk.
+        for _ in 0..200 {
+            sources.push(round(&mut p, &w, 1_000_000));
+        }
+        assert_eq!(sources[0], Source::Wnic);
+        assert!(
+            sources.contains(&Source::Disk),
+            "ghost hints never fired over 200 MB of WNIC traffic"
+        );
+    }
+
+    #[test]
+    fn hint_resets_after_disk_use() {
+        let w = world(true);
+        let nores = |_: FileId, _: u64, _: Bytes| 0.0;
+        let mut p = BlueFs::new();
+        for _ in 0..2 {
+            round(&mut p, &w, 1_000_000);
+        }
+        assert!(p.ghost_hint().get() > 0.0);
+        let out = ff_device::ServiceOutcome {
+            complete: SimTime::ZERO,
+            service_time: ff_base::Dur::ZERO,
+            energy: Joules::ZERO,
+        };
+        p.observe(&ctx(&w, &nores), &req(1), Some(Source::Disk), &out);
+        assert_eq!(p.ghost_hint(), Joules::ZERO);
+    }
+
+    #[test]
+    fn cache_hits_do_not_touch_hints() {
+        let w = world(true);
+        let nores = |_: FileId, _: u64, _: Bytes| 0.0;
+        let mut p = BlueFs::new();
+        for _ in 0..2 {
+            round(&mut p, &w, 1_000_000);
+        }
+        let before = p.ghost_hint();
+        assert!(before.get() > 0.0);
+        let out = ff_device::ServiceOutcome {
+            complete: SimTime::ZERO,
+            service_time: ff_base::Dur::ZERO,
+            energy: Joules::ZERO,
+        };
+        // A fully cache-hit syscall carries no device evidence.
+        p.observe(&ctx(&w, &nores), &req(1), None, &out);
+        assert_eq!(p.ghost_hint(), before, "cache hit must not reset hints");
+    }
+
+    #[test]
+    fn tiny_requests_on_sleeping_disk_stay_on_wnic_longer() {
+        let w = world(true);
+        let mut small = BlueFs::new();
+        let mut n_small = 0;
+        for _ in 0..500 {
+            if round(&mut small, &w, 1_000) == Source::Wnic {
+                n_small += 1;
+            } else {
+                break;
+            }
+        }
+        let mut big = BlueFs::new();
+        let mut n_big = 0;
+        for _ in 0..500 {
+            if round(&mut big, &w, 1_000_000) == Source::Wnic {
+                n_big += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(
+            n_small > n_big,
+            "hint should build faster for large transfers ({n_small} vs {n_big})"
+        );
+    }
+}

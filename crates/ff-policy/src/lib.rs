@@ -1,0 +1,48 @@
+//! # ff-policy — the data-source selection policies
+//!
+//! Everything §2 and §3.1 of the paper describe as a "policy":
+//!
+//! * [`FlexFetch`] — the paper's contribution: profile-driven per-stage
+//!   decisions (§2.2 rules 1–3 with a user loss rate), plus the §2.3
+//!   run-time adaptation (profile splicing, stage-end audit, buffer-cache
+//!   filtering, free-riding on an externally spun-up disk). With
+//!   adaptation disabled it is the paper's **FlexFetch-static** baseline
+//!   (§3.3.4–3.3.5).
+//! * [`BlueFs`] — the reactive baseline modelled after BlueFS (OSDI'04)
+//!   as the paper characterises it: per-request lowest-cost device
+//!   selection from *current* device states plus ghost hints that spin
+//!   the disk up once the foregone savings exceed the wake-up cost.
+//! * [`DiskOnly`] / [`WnicOnly`] — the fixed baselines.
+//!
+//! The simulator talks to policies through the [`Policy`] trait and
+//! [`PolicyCtx`].
+
+//! ```
+//! use ff_base::{Dur, Joules};
+//! use ff_policy::{decide, Source};
+//! use ff_profile::Estimate;
+//!
+//! // §2.2 rule 3: the network is 10 % slower but 50 % cheaper — within
+//! // the user's 25 % loss budget, so it wins.
+//! let disk = Estimate { time: Dur::from_secs(10), energy: Joules(20.0) };
+//! let net = Estimate { time: Dur::from_secs(11), energy: Joules(10.0) };
+//! assert_eq!(decide(disk, net, 0.25), Source::Wnic);
+//! // With a 5 % budget the slowdown is unacceptable.
+//! assert_eq!(decide(disk, net, 0.05), Source::Disk);
+//! ```
+
+pub mod bluefs;
+pub mod fixed;
+pub mod flexfetch;
+pub mod kind;
+pub mod oracle;
+pub mod rules;
+pub mod source;
+
+pub use bluefs::BlueFs;
+pub use fixed::{DiskOnly, WnicOnly};
+pub use flexfetch::{FlexFetch, FlexFetchConfig};
+pub use kind::PolicyKind;
+pub use oracle::{plan_oracle, Oracle, OraclePlan};
+pub use rules::decide;
+pub use source::{AppRequest, Policy, PolicyCtx, Source, StageReport};

@@ -1,0 +1,104 @@
+//! The §2.2 decision rules.
+//!
+//! > 1. If `T_disk < T_network` and `E_disk < E_network`, choose the
+//! >    local disk as data source;
+//! > 2. If `T_network < T_disk` and `E_network < E_disk`, choose the
+//! >    wireless network as data source;
+//! > 3. If `E_network < E_disk` and
+//! >    `(E_disk − E_network)/E_disk >= (T_network − T_disk)/T_disk` and
+//! >    `(T_network − T_disk)/T_disk < loss_rate`, choose the network as
+//! >    data source; otherwise, choose the disk.
+
+use crate::source::Source;
+use ff_profile::Estimate;
+
+/// Apply the FlexFetch decision rules to the two estimates.
+///
+/// `loss_rate` is the user's maximum tolerable I/O performance loss
+/// (§2.2; the paper's experiments use 0.25).
+pub fn decide(disk: Estimate, net: Estimate, loss_rate: f64) -> Source {
+    let (t_d, t_n) = (disk.time.as_secs_f64(), net.time.as_secs_f64());
+    let (e_d, e_n) = (disk.energy.get(), net.energy.get());
+
+    // Rule 1: disk dominates.
+    if t_d < t_n && e_d < e_n {
+        return Source::Disk;
+    }
+    // Rule 2: network dominates.
+    if t_n < t_d && e_n < e_d {
+        return Source::Wnic;
+    }
+    // Rule 3: network saves energy but costs time — accept the slowdown
+    // only if the relative saving beats the relative slowdown and the
+    // slowdown stays under the loss rate.
+    if e_n < e_d && t_d > 0.0 {
+        let saving = (e_d - e_n) / e_d;
+        let slowdown = (t_n - t_d) / t_d;
+        if saving >= slowdown && slowdown < loss_rate {
+            return Source::Wnic;
+        }
+    }
+    Source::Disk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_base::{Dur, Joules};
+
+    fn est(secs: f64, joules: f64) -> Estimate {
+        Estimate { time: Dur::from_secs_f64(secs), energy: Joules(joules) }
+    }
+
+    #[test]
+    fn rule1_disk_dominates() {
+        assert_eq!(decide(est(1.0, 10.0), est(2.0, 20.0), 0.25), Source::Disk);
+    }
+
+    #[test]
+    fn rule2_network_dominates() {
+        assert_eq!(decide(est(2.0, 20.0), est(1.0, 10.0), 0.25), Source::Wnic);
+    }
+
+    #[test]
+    fn rule3_accepts_bounded_slowdown_for_energy() {
+        // Net: 10 % slower, 50 % cheaper → take it (10 % < 25 %, 50 ≥ 10).
+        assert_eq!(decide(est(10.0, 20.0), est(11.0, 10.0), 0.25), Source::Wnic);
+    }
+
+    #[test]
+    fn rule3_rejects_slowdown_beyond_loss_rate() {
+        // Net: 30 % slower — over the 25 % budget even though cheaper.
+        assert_eq!(decide(est(10.0, 20.0), est(13.0, 10.0), 0.25), Source::Disk);
+    }
+
+    #[test]
+    fn rule3_rejects_saving_smaller_than_slowdown() {
+        // Net: 20 % slower but only 10 % cheaper (x < n) → disk.
+        assert_eq!(decide(est(10.0, 20.0), est(12.0, 18.0), 0.25), Source::Disk);
+    }
+
+    #[test]
+    fn loss_rate_zero_never_trades_time_for_energy() {
+        assert_eq!(decide(est(10.0, 20.0), est(10.5, 1.0), 0.0), Source::Disk);
+        // But strict dominance still picks the network.
+        assert_eq!(decide(est(10.0, 20.0), est(9.0, 1.0), 0.0), Source::Wnic);
+    }
+
+    #[test]
+    fn exact_ties_fall_through_to_disk() {
+        assert_eq!(decide(est(1.0, 1.0), est(1.0, 1.0), 0.25), Source::Disk);
+    }
+
+    #[test]
+    fn faster_but_costlier_network_falls_to_disk() {
+        // t_n < t_d but e_n > e_d: neither rule 1, 2 nor 3 → disk.
+        assert_eq!(decide(est(2.0, 5.0), est(1.0, 50.0), 0.25), Source::Disk);
+    }
+
+    #[test]
+    fn zero_disk_time_degenerate() {
+        // Empty stage on disk: t_d = 0 guards rule 3's division.
+        assert_eq!(decide(est(0.0, 0.0), est(0.0, 0.0), 0.25), Source::Disk);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests for the decision layer.
+
+use ff_base::{Dur, Joules};
+use ff_policy::{decide, Source};
+use ff_profile::Estimate;
+use proptest::prelude::*;
+
+fn est(t_us: u64, e: f64) -> Estimate {
+    Estimate { time: Dur(t_us), energy: Joules(e) }
+}
+
+proptest! {
+    /// Strict dominance always wins, whatever the loss rate.
+    #[test]
+    fn dominance_is_respected(
+        t in 1u64..1 << 40, e in 0.0f64..1e6,
+        dt in 1u64..1 << 30, de in 1e-6f64..1e5,
+        loss in 0.0f64..2.0,
+    ) {
+        // Disk strictly better on both axes → Disk.
+        prop_assert_eq!(
+            decide(est(t, e), est(t + dt, e + de), loss),
+            Source::Disk
+        );
+        // Network strictly better on both axes → Wnic.
+        prop_assert_eq!(
+            decide(est(t + dt, e + de), est(t, e), loss),
+            Source::Wnic
+        );
+    }
+
+    /// The decision is scale-invariant: multiplying every time and energy
+    /// by the same positive factor never changes it (the rules compare
+    /// only relative quantities).
+    #[test]
+    fn scale_invariance(
+        td in 1u64..1 << 20, tn in 1u64..1 << 20,
+        ed in 0.001f64..1e4, en in 0.001f64..1e4,
+        k in 2u64..100, loss in 0.0f64..1.0,
+    ) {
+        let base = decide(est(td, ed), est(tn, en), loss);
+        let scaled = decide(
+            est(td * k, ed * k as f64),
+            est(tn * k, en * k as f64),
+            loss,
+        );
+        prop_assert_eq!(base, scaled);
+    }
+
+    /// Raising the loss rate can only move decisions disk→network, never
+    /// network→disk (the budget for trading time only grows).
+    #[test]
+    fn loss_rate_is_monotone(
+        td in 1u64..1 << 20, tn in 1u64..1 << 20,
+        ed in 0.001f64..1e4, en in 0.001f64..1e4,
+        lo in 0.0f64..1.0, hi in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        let a = decide(est(td, ed), est(tn, en), lo);
+        let b = decide(est(td, ed), est(tn, en), hi);
+        if a == Source::Wnic {
+            prop_assert_eq!(b, Source::Wnic, "raising the loss rate revoked the network");
+        }
+    }
+
+    /// A network that saves no energy is never chosen unless it strictly
+    /// dominates on time too.
+    #[test]
+    fn costlier_network_needs_time_dominance(
+        td in 1u64..1 << 20, tn in 1u64..1 << 20,
+        e in 0.001f64..1e4, extra in 0.0f64..1e3,
+        loss in 0.0f64..1.0,
+    ) {
+        let got = decide(est(td, e), est(tn, e + extra), loss);
+        if got == Source::Wnic {
+            prop_assert!(tn < td && extra == 0.0);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Hoard planning (extension).
+//!
+//! The paper assumes the full working set is hoarded on the local disk
+//! (§1, §5: synchronisation and hoarding are delegated to a system like
+//! Kuenning & Popek's automated hoarding \[11\]). This module closes the
+//! loop: given recorded access history (a [`Profile`]) and a disk-space
+//! budget, pick which files to hoard. Files left out are reachable only
+//! over the WNIC (`SimConfig::network_only_files`), which degrades
+//! FlexFetch's freedom of choice — quantified in the `extensions`
+//! experiment binary.
+//!
+//! The heuristic follows the hoarding literature: rank files by observed
+//! access intensity (bytes requested in the profile, with a recency tie
+//! towards files touched in later bursts) and take greedily until the
+//! budget is spent. Kuenning's semantic clustering is out of scope; the
+//! ranking interface is pluggable.
+
+use crate::profile::Profile;
+use ff_base::Bytes;
+use ff_trace::{FileId, FileSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The outcome of hoard planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HoardPlan {
+    /// Files replicated on the local disk.
+    pub hoarded: BTreeSet<FileId>,
+    /// Disk space the hoard occupies.
+    pub hoarded_bytes: Bytes,
+    /// Files left on the server only.
+    pub missed: BTreeSet<FileId>,
+}
+
+impl HoardPlan {
+    /// Fraction of the file population hoarded.
+    pub fn coverage(&self, total_files: usize) -> f64 {
+        if total_files == 0 {
+            return 1.0;
+        }
+        self.hoarded.len() as f64 / total_files as f64
+    }
+}
+
+/// Greedy hotness-ranked hoard planner.
+#[derive(Debug, Clone, Copy)]
+pub struct HoardPlanner {
+    /// Local disk space available for hoarding.
+    pub budget: Bytes,
+}
+
+impl HoardPlanner {
+    /// Planner with the given budget.
+    pub fn new(budget: Bytes) -> Self {
+        HoardPlanner { budget }
+    }
+
+    /// Rank `files` by the access history in `profile` and hoard the
+    /// hottest ones that fit the budget. Files absent from the profile
+    /// rank last (hotness 0) but are still hoarded if room remains.
+    pub fn plan(&self, profile: &Profile, files: &FileSet) -> HoardPlan {
+        // Hotness: total bytes requested per file across the profile,
+        // weighted by how recently (burst index) the file was touched.
+        let mut hotness: BTreeMap<FileId, f64> = BTreeMap::new();
+        let n = profile.len().max(1) as f64;
+        for (i, pb) in profile.bursts.iter().enumerate() {
+            let recency = 0.5 + 0.5 * (i as f64 + 1.0) / n;
+            for req in &pb.burst.requests {
+                *hotness.entry(req.file).or_insert(0.0) += req.len.get() as f64 * recency;
+            }
+        }
+
+        let mut ranked: Vec<(&ff_trace::FileMeta, f64)> = files
+            .iter()
+            .map(|m| (m, hotness.get(&m.id).copied().unwrap_or(0.0)))
+            .collect();
+        // Hottest first; among equals, smaller files first (more coverage
+        // per byte); stable by inode for determinism.
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("hotness is finite")
+                .then(a.0.size.cmp(&b.0.size))
+                .then(a.0.id.cmp(&b.0.id))
+        });
+
+        let mut plan = HoardPlan {
+            hoarded: BTreeSet::new(),
+            hoarded_bytes: Bytes::ZERO,
+            missed: BTreeSet::new(),
+        };
+        for (meta, _) in ranked {
+            if plan.hoarded_bytes + meta.size <= self.budget {
+                plan.hoarded_bytes += meta.size;
+                plan.hoarded.insert(meta.id);
+            } else {
+                plan.missed.insert(meta.id);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::{IoBurst, MergedRequest, ProfiledBurst};
+    use ff_base::{Dur, SimTime};
+    use ff_trace::{FileMeta, IoOp};
+
+    fn files(sizes: &[u64]) -> FileSet {
+        let mut fs = FileSet::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            fs.insert(FileMeta {
+                id: FileId(i as u64 + 1),
+                name: format!("f{i}"),
+                size: Bytes(s),
+            });
+        }
+        fs
+    }
+
+    fn profile_touching(file_bytes: &[(u64, u64)]) -> Profile {
+        let requests = file_bytes
+            .iter()
+            .map(|&(f, b)| MergedRequest {
+                file: FileId(f),
+                op: IoOp::Read,
+                offset: 0,
+                len: Bytes(b),
+            })
+            .collect();
+        Profile {
+            app: "t".into(),
+            bursts: vec![ProfiledBurst {
+                burst: IoBurst { start: SimTime::ZERO, end: SimTime::ZERO, requests },
+                gap_after: Dur::ZERO,
+            }],
+        }
+    }
+
+    #[test]
+    fn hot_files_are_hoarded_first() {
+        let fs = files(&[1000, 1000, 1000]);
+        // File 3 is hottest, file 1 cold.
+        let p = profile_touching(&[(3, 9000), (2, 100)]);
+        let plan = HoardPlanner::new(Bytes(2000)).plan(&p, &fs);
+        assert!(plan.hoarded.contains(&FileId(3)));
+        assert!(plan.hoarded.contains(&FileId(2)));
+        assert!(plan.missed.contains(&FileId(1)));
+        assert_eq!(plan.hoarded_bytes, Bytes(2000));
+    }
+
+    #[test]
+    fn budget_zero_hoards_nothing() {
+        let fs = files(&[10, 20]);
+        let plan = HoardPlanner::new(Bytes::ZERO).plan(&Profile::empty("x"), &fs);
+        assert!(plan.hoarded.is_empty());
+        assert_eq!(plan.missed.len(), 2);
+        assert_eq!(plan.coverage(2), 0.0);
+    }
+
+    #[test]
+    fn big_budget_hoards_everything() {
+        let fs = files(&[10, 20, 30]);
+        let plan = HoardPlanner::new(Bytes(1000)).plan(&Profile::empty("x"), &fs);
+        assert_eq!(plan.hoarded.len(), 3);
+        assert!(plan.missed.is_empty());
+        assert_eq!(plan.hoarded_bytes, Bytes(60));
+        assert_eq!(plan.coverage(3), 1.0);
+    }
+
+    #[test]
+    fn skipping_a_big_file_still_fits_smaller_ones() {
+        // Budget 25: hottest file (size 30) does not fit, but the two
+        // colder small files do.
+        let fs = files(&[10, 15, 30]);
+        let p = profile_touching(&[(3, 5000)]);
+        let plan = HoardPlanner::new(Bytes(25)).plan(&p, &fs);
+        assert!(plan.missed.contains(&FileId(3)));
+        assert_eq!(plan.hoarded.len(), 2);
+    }
+
+    #[test]
+    fn recency_breaks_ties_toward_later_bursts() {
+        let fs = files(&[100, 100]);
+        // Same bytes, but file 2 is touched in a later burst.
+        let mut p = profile_touching(&[(1, 500)]);
+        p.bursts.push(profile_touching(&[(2, 500)]).bursts.pop().unwrap());
+        let plan = HoardPlanner::new(Bytes(100)).plan(&p, &fs);
+        assert!(plan.hoarded.contains(&FileId(2)), "recent file wins the tie");
+        assert!(plan.missed.contains(&FileId(1)));
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        let fs = files(&[100; 20]);
+        let p = Profile::empty("x");
+        let a = HoardPlanner::new(Bytes(500)).plan(&p, &fs);
+        let b = HoardPlanner::new(Bytes(500)).plan(&p, &fs);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,266 @@
+//! The per-application profile store (§2.1, §2.3.1, §2.3.3).
+
+use crate::burst::{BurstExtractor, ProfiledBurst};
+use crate::stage::{stages_of, Stage};
+use ff_base::{Bytes, Dur, Error, Result};
+use ff_trace::Trace;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A recorded, device-independent execution profile: the application's
+/// burst sequence with inter-burst think times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Profile {
+    /// Application name the profile belongs to.
+    pub app: String,
+    /// The burst sequence.
+    pub bursts: Vec<ProfiledBurst>,
+}
+
+impl Profile {
+    /// Empty profile for `app` (first-ever run: no history).
+    pub fn empty(app: impl Into<String>) -> Self {
+        Profile { app: app.into(), bursts: Vec::new() }
+    }
+
+    /// Number of bursts.
+    pub fn len(&self) -> usize {
+        self.bursts.len()
+    }
+
+    /// True iff no bursts were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty()
+    }
+
+    /// Total bytes requested across the profile.
+    pub fn total_bytes(&self) -> Bytes {
+        self.bursts.iter().map(|b| b.burst.bytes()).sum()
+    }
+
+    /// Wall-clock span of the profiled run.
+    pub fn span(&self) -> Dur {
+        self.bursts.iter().map(|b| b.span()).sum()
+    }
+
+    /// Form evaluation stages of `stage_len` (§2.2; the paper uses 40 s).
+    pub fn stages(&self, stage_len: Dur) -> Vec<Stage> {
+        stages_of(&self.bursts, stage_len)
+    }
+
+    /// §2.3.1 splice: *"we use the new profile for this run to replace
+    /// the N I/O bursts in the old profile"*. Returns the assembled
+    /// profile: `observed` followed by `self.bursts[n..]`.
+    pub fn splice(&self, observed: &[ProfiledBurst], n: usize) -> Profile {
+        let tail = self.bursts.iter().skip(n).cloned();
+        Profile {
+            app: self.app.clone(),
+            bursts: observed.iter().cloned().chain(tail).collect(),
+        }
+    }
+
+    /// The number of leading bursts the observed amount has fully
+    /// covered: the largest `N` with `sum(bursts[..N].bytes) <= bytes` —
+    /// "whenever the amount just exceeds the amount of data requested in
+    /// the first N I/O bursts" (§2.3.1), splicing replaces exactly those
+    /// N bursts.
+    pub fn bursts_covering(&self, bytes: Bytes) -> usize {
+        let mut acc = Bytes::ZERO;
+        for (i, b) in self.bursts.iter().enumerate() {
+            acc += b.burst.bytes();
+            if acc > bytes {
+                return i;
+            }
+        }
+        self.bursts.len()
+    }
+
+    /// §2.3.3: merge profiles of concurrently running programs into one
+    /// aggregate, interleaving bursts on their recorded start times and
+    /// recomputing the think gaps from the merged timeline.
+    pub fn merge_concurrent(&self, other: &Profile) -> Profile {
+        let mut all: Vec<ProfiledBurst> = Vec::with_capacity(self.len() + other.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.bursts.len() && j < other.bursts.len() {
+            if other.bursts[j].burst.start < self.bursts[i].burst.start {
+                all.push(other.bursts[j].clone());
+                j += 1;
+            } else {
+                all.push(self.bursts[i].clone());
+                i += 1;
+            }
+        }
+        all.extend(self.bursts[i..].iter().cloned());
+        all.extend(other.bursts[j..].iter().cloned());
+        // Recompute gaps from the merged timeline.
+        for k in 0..all.len() {
+            let gap = if k + 1 < all.len() {
+                all[k + 1].burst.start.saturating_since(all[k].burst.end)
+            } else {
+                Dur::ZERO
+            };
+            all[k].gap_after = gap;
+        }
+        Profile { app: format!("{}||{}", self.app, other.app), bursts: all }
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialisation cannot fail")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Profile> {
+        serde_json::from_str(text)
+            .map_err(|e| Error::Parse { line: e.line(), msg: e.to_string() })
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Profile> {
+        let text = std::fs::read_to_string(path)?;
+        Profile::from_json(&text)
+    }
+}
+
+/// Trace → profile pipeline: burst extraction with the paper's defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct Profiler {
+    /// Burst extraction parameters.
+    pub extractor: BurstExtractor,
+}
+
+impl Profiler {
+    /// The paper's configuration: 20 ms burst threshold, 128 KiB merge.
+    pub fn standard() -> Self {
+        Profiler { extractor: BurstExtractor::default() }
+    }
+
+    /// Profile a recorded trace.
+    pub fn profile(&self, trace: &Trace) -> Profile {
+        Profile { app: trace.name.clone(), bursts: self.extractor.extract(trace) }
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Profiler::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::burst::{IoBurst, MergedRequest};
+    use ff_base::SimTime;
+    use ff_trace::{FileId, Grep, IoOp, Workload};
+
+    fn pb(start_ms: u64, dur_ms: u64, gap_ms: u64, bytes: u64) -> ProfiledBurst {
+        ProfiledBurst {
+            burst: IoBurst {
+                start: SimTime::from_millis(start_ms),
+                end: SimTime::from_millis(start_ms + dur_ms),
+                requests: vec![MergedRequest {
+                    file: FileId(1),
+                    op: IoOp::Read,
+                    offset: 0,
+                    len: Bytes(bytes),
+                }],
+            },
+            gap_after: Dur::from_millis(gap_ms),
+        }
+    }
+
+    #[test]
+    fn profiler_extracts_from_real_workload() {
+        let trace = Grep { files: 30, total_bytes: 1_000_000, ..Default::default() }.build(1);
+        let p = Profiler::standard().profile(&trace);
+        assert_eq!(p.app, "grep");
+        assert_eq!(p.total_bytes(), Bytes(1_000_000));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let p = Profile { app: "x".into(), bursts: vec![pb(0, 10, 100, 5000)] };
+        let back = Profile::from_json(&p.to_json()).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("ff_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.json");
+        let p = Profile { app: "x".into(), bursts: vec![pb(0, 10, 100, 5000)] };
+        p.save(&path).unwrap();
+        assert_eq!(Profile::load(&path).unwrap(), p);
+    }
+
+    #[test]
+    fn bad_json_reports_parse_error() {
+        assert!(Profile::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn splice_replaces_head() {
+        let old = Profile {
+            app: "a".into(),
+            bursts: vec![pb(0, 1, 1, 100), pb(10, 1, 1, 200), pb(20, 1, 1, 300)],
+        };
+        let observed = vec![pb(0, 2, 2, 999)];
+        let spliced = old.splice(&observed, 2);
+        assert_eq!(spliced.len(), 2);
+        assert_eq!(spliced.bursts[0].burst.bytes(), Bytes(999));
+        assert_eq!(spliced.bursts[1].burst.bytes(), Bytes(300));
+    }
+
+    #[test]
+    fn splice_beyond_end_keeps_only_observed() {
+        let old = Profile { app: "a".into(), bursts: vec![pb(0, 1, 1, 100)] };
+        let spliced = old.splice(&[pb(0, 1, 1, 1)], 10);
+        assert_eq!(spliced.len(), 1);
+    }
+
+    #[test]
+    fn bursts_covering_finds_prefix() {
+        let p = Profile {
+            app: "a".into(),
+            bursts: vec![pb(0, 1, 1, 100), pb(10, 1, 1, 200), pb(20, 1, 1, 300)],
+        };
+        assert_eq!(p.bursts_covering(Bytes(50)), 0, "burst 1 not yet exceeded");
+        assert_eq!(p.bursts_covering(Bytes(100)), 1, "burst 1 exactly covered");
+        assert_eq!(p.bursts_covering(Bytes(101)), 1);
+        assert_eq!(p.bursts_covering(Bytes(300)), 2);
+        assert_eq!(p.bursts_covering(Bytes(600)), 3);
+        assert_eq!(p.bursts_covering(Bytes(10_000)), 3, "saturates at len");
+    }
+
+    #[test]
+    fn merge_concurrent_interleaves_and_recomputes_gaps() {
+        let a = Profile { app: "a".into(), bursts: vec![pb(0, 10, 999, 1), pb(100, 10, 0, 2)] };
+        let b = Profile { app: "b".into(), bursts: vec![pb(50, 10, 0, 3)] };
+        let m = a.merge_concurrent(&b);
+        assert_eq!(m.app, "a||b");
+        let starts: Vec<u64> =
+            m.bursts.iter().map(|x| x.burst.start.as_micros() / 1000).collect();
+        assert_eq!(starts, vec![0, 50, 100]);
+        // Gap between burst 0 (ends 10 ms) and burst 1 (starts 50 ms).
+        assert_eq!(m.bursts[0].gap_after, Dur::from_millis(40));
+        assert_eq!(m.bursts[2].gap_after, Dur::ZERO);
+    }
+
+    #[test]
+    fn empty_profile_behaviour() {
+        let p = Profile::empty("fresh");
+        assert!(p.is_empty());
+        assert_eq!(p.total_bytes(), Bytes::ZERO);
+        assert_eq!(p.span(), Dur::ZERO);
+        assert!(p.stages(Dur::from_secs(40)).is_empty());
+        assert_eq!(p.bursts_covering(Bytes(1)), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Battery-lifetime accounting (extension).
+//!
+//! The paper's motivation is battery lifetime, not joules. This module
+//! converts a [`crate::SimReport`]-measured I/O energy into the
+//! metric a user feels: how much longer the battery lasts under one
+//! policy than another, given the platform's non-I/O draw.
+//!
+//! Model: the battery holds `capacity` watt-hours; the platform draws a
+//! constant `base_power` (CPU, memory, backlight) plus the simulated
+//! I/O power. Lifetime = capacity / (base + mean I/O power). A 2007
+//! thin-and-light: ~50 Wh pack, ~8 W platform draw.
+
+use crate::report::SimReport;
+use ff_base::{Dur, Joules, Watts};
+
+/// Platform/battery constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Battery {
+    /// Pack capacity.
+    pub capacity_wh: f64,
+    /// Non-I/O platform draw.
+    pub base_power: Watts,
+}
+
+impl Battery {
+    /// A 2007 thin-and-light laptop: 50 Wh pack, 8 W platform draw.
+    pub fn laptop_2007() -> Self {
+        Battery { capacity_wh: 50.0, base_power: Watts(8.0) }
+    }
+
+    /// Mean I/O power of a finished run.
+    pub fn io_power(report: &SimReport) -> Watts {
+        let secs = report.exec_time.as_secs_f64();
+        if secs == 0.0 {
+            Watts::ZERO
+        } else {
+            Watts(report.total_energy().get() / secs)
+        }
+    }
+
+    /// Battery charge one *finite task* consumed: I/O energy plus the
+    /// platform's base draw for the task's duration. This is the honest
+    /// metric for bursty jobs — a slower policy cannot hide behind a
+    /// lower mean power.
+    pub fn task_drain(&self, report: &SimReport) -> Joules {
+        report.total_energy() + self.base_power * report.exec_time
+    }
+
+    /// Fraction of the pack one task consumed, in percent.
+    pub fn task_drain_pct(&self, report: &SimReport) -> f64 {
+        self.task_drain(report).get() / (self.capacity_wh * 3600.0) * 100.0
+    }
+
+    /// Battery lifetime if the machine ran this workload's power profile
+    /// continuously (steady workloads: streaming, playback).
+    pub fn lifetime(&self, report: &SimReport) -> Dur {
+        let total = self.base_power.get() + Self::io_power(report).get();
+        debug_assert!(total > 0.0);
+        Dur::from_secs_f64(self.capacity_wh * 3600.0 / total)
+    }
+
+    /// Relative lifetime extension of `better` over `worse`, in percent.
+    pub fn extension_pct(&self, better: &SimReport, worse: &SimReport) -> f64 {
+        let a = self.lifetime(better).as_secs_f64();
+        let b = self.lifetime(worse).as_secs_f64();
+        (a / b - 1.0) * 100.0
+    }
+
+    /// Energy the battery spends over `d` at this workload's profile.
+    pub fn drain_over(&self, report: &SimReport, d: Dur) -> Joules {
+        (self.base_power + Self::io_power(report)) * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimConfig, Simulation};
+    use ff_policy::PolicyKind;
+    use ff_trace::{Workload, Xmms};
+
+    fn report(kind: PolicyKind) -> SimReport {
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(300)),
+            ..Default::default()
+        }
+        .build(4);
+        Simulation::new(SimConfig::default(), &trace).policy(kind).run().unwrap()
+    }
+
+    #[test]
+    fn lifetime_is_capacity_over_power() {
+        let r = report(PolicyKind::DiskOnly);
+        let b = Battery::laptop_2007();
+        let life = b.lifetime(&r).as_secs_f64();
+        let expect = 50.0 * 3600.0 / (8.0 + Battery::io_power(&r).get());
+        assert!((life - expect).abs() < 1.0);
+        // An 8+ W platform drains 50 Wh in well under 6.25 h.
+        assert!(life < 6.25 * 3600.0);
+        assert!(life > 3.0 * 3600.0);
+    }
+
+    #[test]
+    fn cheaper_policy_lives_longer() {
+        let disk = report(PolicyKind::DiskOnly);
+        let wnic = report(PolicyKind::WnicOnly);
+        let b = Battery::laptop_2007();
+        // xmms streaming: the WNIC is the cheaper device (sparse reads).
+        assert!(wnic.total_energy() < disk.total_energy());
+        let ext = b.extension_pct(&wnic, &disk);
+        assert!(ext > 1.0, "extension {ext:.1}% too small");
+        assert!(ext < 30.0, "extension {ext:.1}% implausibly large");
+    }
+
+    #[test]
+    fn task_drain_penalises_slow_runs() {
+        // Same xmms task: the disk run and the WNIC run have different
+        // durations; task drain charges the platform for every second.
+        let disk = report(PolicyKind::DiskOnly);
+        let wnic = report(PolicyKind::WnicOnly);
+        let b = Battery::laptop_2007();
+        let d_drain = b.task_drain(&disk);
+        let w_drain = b.task_drain(&wnic);
+        // Platform draw dominates a 300 s task; the cheaper-and-similar-
+        // duration WNIC run must drain less in total.
+        assert!(w_drain < d_drain, "{w_drain} vs {d_drain}");
+        assert!(b.task_drain_pct(&disk) > 0.0 && b.task_drain_pct(&disk) < 5.0);
+    }
+
+    #[test]
+    fn drain_scales_linearly() {
+        let r = report(PolicyKind::DiskOnly);
+        let b = Battery::laptop_2007();
+        let one = b.drain_over(&r, Dur::from_secs(60));
+        let two = b.drain_over(&r, Dur::from_secs(120));
+        assert!((two.get() - 2.0 * one.get()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,1163 @@
+//! The replay engine.
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use ff_base::{size::PAGE_SIZE, Bytes, Dur, Error, Joules, Result, SimTime};
+use ff_cache::cscan::{BlockRequest, CScanQueue};
+use ff_cache::{BufferCache, FlashCache, PageKey};
+use ff_device::{
+    DeviceRequest, DiskModel, FlashModel, PowerModel, ServiceOutcome, WnicModel,
+};
+use ff_policy::{AppRequest, Policy, PolicyCtx, PolicyKind, Source};
+use ff_profile::burst::OnlineBurstBuilder;
+use ff_profile::BurstExtractor;
+use ff_trace::{DiskLayout, FileId, IoOp, Trace, TraceRecord};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// One simulation run: a trace, a config, and a policy.
+pub struct Simulation<'t> {
+    config: SimConfig,
+    trace: &'t Trace,
+    policy: Box<dyn Policy>,
+}
+
+impl<'t> Simulation<'t> {
+    /// New simulation of `trace` under `config` (policy defaults to
+    /// Disk-only; set one with [`Simulation::policy`]).
+    pub fn new(config: SimConfig, trace: &'t Trace) -> Self {
+        Simulation { config, trace, policy: PolicyKind::DiskOnly.build() }
+    }
+
+    /// Select the policy by recipe.
+    pub fn policy(mut self, kind: PolicyKind) -> Self {
+        self.policy = kind.build();
+        self
+    }
+
+    /// Install a custom policy object.
+    pub fn policy_boxed(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Run to completion.
+    pub fn run(self) -> Result<SimReport> {
+        self.trace.validate()?;
+        if self.trace.is_empty() {
+            return Err(Error::Config("cannot simulate an empty trace".into()));
+        }
+        Runner::new(self.config, self.trace, self.policy).run()
+    }
+}
+
+/// Discrete events, ordered by `(time, seq)` for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Issue the next system call of a process group (one program runs
+    /// as one closed loop, §2.1).
+    Issue(u32),
+    /// Write-back flusher wake-up.
+    Flush,
+    /// Evaluation-stage boundary.
+    StageEnd,
+    /// Apply the next scheduled WNIC bandwidth change.
+    WnicChange(usize),
+}
+
+type Event = (SimTime, u64, EventKind);
+
+/// A list of contiguous page runs `(first_page, n_pages)`.
+type PageRuns = Vec<(u64, u64)>;
+
+struct Runner<'t> {
+    cfg: SimConfig,
+    trace: &'t Trace,
+    policy: Box<dyn Policy>,
+    disk: DiskModel,
+    wnic: WnicModel,
+    /// Optional flash tier: device model + membership tracker.
+    flash: Option<(FlashModel, FlashCache)>,
+    cache: BufferCache,
+    layout: DiskLayout,
+    /// Per-process-group `(record index, think time after)` queues,
+    /// consumed front to back.
+    queues: HashMap<u32, std::collections::VecDeque<(usize, Dur)>>,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    remaining_calls: usize,
+    // Stage tracking.
+    observed: OnlineBurstBuilder,
+    stage_index: usize,
+    stage_start: SimTime,
+    disk_mark: Joules,
+    wnic_mark: Joules,
+    // Statistics.
+    stage_summaries: Vec<crate::report::StageSummary>,
+    /// Device bytes at the last stage boundary (per-stage fetch delta).
+    stage_bytes_mark: Bytes,
+    last_completion: SimTime,
+    app_requests: u64,
+    disk_requests: u64,
+    wnic_requests: u64,
+    disk_bytes: Bytes,
+    wnic_bytes: Bytes,
+    flash_requests: u64,
+    flash_bytes: Bytes,
+    stages_done: usize,
+}
+
+impl<'t> Runner<'t> {
+    fn new(cfg: SimConfig, trace: &'t Trace, policy: Box<dyn Policy>) -> Self {
+        let layout = DiskLayout::build(&trace.files, cfg.layout_seed);
+        let mut disk_params = cfg.disk.clone();
+        if let Some(timeout) = policy.disk_timeout_override() {
+            disk_params.timeout = timeout;
+        }
+        let mut disk = if cfg.disk_starts_standby {
+            DiskModel::new_standby(disk_params)
+        } else {
+            DiskModel::new(disk_params)
+        };
+        let mut wnic = WnicModel::new(cfg.wnic.clone());
+        let mut flash = cfg
+            .flash
+            .as_ref()
+            .map(|(p, pages)| (FlashModel::new(p.clone()), FlashCache::new(*pages)));
+        if cfg.record_power_log {
+            disk.enable_power_log();
+            wnic.enable_power_log();
+            if let Some((f, _)) = &mut flash {
+                f.enable_power_log();
+            }
+        }
+        let cache = BufferCache::new(cfg.cache.clone());
+
+        // Build per-process-group closed-loop queues with
+        // device-independent think times: gap from a call's completion to
+        // the group's next call. A group is one program (§2.1) — make and
+        // its gcc children serialise; independent programs (xmms vs make)
+        // interleave as separate loops.
+        let mut queues: HashMap<u32, std::collections::VecDeque<(usize, Dur)>> =
+            HashMap::new();
+        let mut by_pid: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, r) in trace.records.iter().enumerate() {
+            by_pid.entry(r.pgid).or_default().push(i);
+        }
+        for (pid, idxs) in &by_pid {
+            let mut q = std::collections::VecDeque::with_capacity(idxs.len());
+            for w in 0..idxs.len() {
+                let rec = &trace.records[idxs[w]];
+                let think = if w + 1 < idxs.len() {
+                    trace.records[idxs[w + 1]].ts.saturating_since(rec.end())
+                } else {
+                    Dur::ZERO
+                };
+                q.push_back((idxs[w], think));
+            }
+            queues.insert(*pid, q);
+        }
+
+        let remaining_calls = trace.records.len();
+        let stage_len = cfg.stage_len;
+        let flush_interval = cfg.cache.writeback.wakeup_interval;
+        let mut runner = Runner {
+            cfg,
+            trace,
+            policy,
+            disk,
+            wnic,
+            flash,
+            cache,
+            layout,
+            queues,
+            events: BinaryHeap::new(),
+            seq: 0,
+            remaining_calls,
+            observed: OnlineBurstBuilder::new(BurstExtractor::default()),
+            stage_index: 0,
+            stage_start: SimTime::ZERO,
+            disk_mark: Joules::ZERO,
+            wnic_mark: Joules::ZERO,
+            stage_summaries: Vec::new(),
+            stage_bytes_mark: Bytes::ZERO,
+            last_completion: SimTime::ZERO,
+            app_requests: 0,
+            disk_requests: 0,
+            wnic_requests: 0,
+            disk_bytes: Bytes::ZERO,
+            wnic_bytes: Bytes::ZERO,
+            flash_requests: 0,
+            flash_bytes: Bytes::ZERO,
+            stages_done: 0,
+        };
+        // Seed events: each pid's first call at its recorded start time,
+        // plus the flusher and the first stage boundary.
+        let firsts: Vec<(u32, SimTime)> = runner
+            .queues
+            .iter()
+            .map(|(&pid, q)| (pid, trace.records[q.front().expect("non-empty").0].ts))
+            .collect();
+        for (pid, t) in firsts {
+            runner.push_event(t, EventKind::Issue(pid));
+        }
+        runner.push_event(SimTime::ZERO + flush_interval, EventKind::Flush);
+        runner.push_event(SimTime::ZERO + stage_len, EventKind::StageEnd);
+        let changes: Vec<(usize, Dur)> = runner
+            .cfg
+            .wnic_bandwidth_schedule
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, _))| (i, at))
+            .collect();
+        for (i, at) in changes {
+            runner.push_event(SimTime::ZERO + at, EventKind::WnicChange(i));
+        }
+        runner
+    }
+
+    fn push_event(&mut self, t: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse((t, self.seq, kind)));
+    }
+
+    /// Is the wireless link down at `now`?
+    fn wnic_out(&self, now: SimTime) -> bool {
+        self.cfg
+            .wnic_outages
+            .iter()
+            .any(|&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
+    }
+
+    /// Route a request: pinned files always hit the disk and surface as
+    /// external activity; non-hoarded files can only ride the WNIC;
+    /// everything else asks the policy — overridden to the disk while
+    /// the wireless link is down.
+    fn route(&mut self, now: SimTime, req: &AppRequest) -> (Source, bool) {
+        if self.cfg.disk_only_files.contains(&req.file) {
+            self.policy.on_external_disk(now);
+            return (Source::Disk, true);
+        }
+        if self.cfg.network_only_files.contains(&req.file) {
+            if self.wnic_out(now) {
+                // Not hoarded AND disconnected: the request stalls until
+                // the link returns — modelled as service at the outage
+                // end (the disk genuinely has no copy).
+                let resume = self
+                    .cfg
+                    .wnic_outages
+                    .iter()
+                    .find(|&&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
+                    .map(|&(_, e)| SimTime::ZERO + e)
+                    .expect("outage checked");
+                self.wnic.advance_to(resume);
+                return (Source::Wnic, false);
+            }
+            // Not hoarded: the local disk has no copy. The policy is not
+            // consulted — there is no choice to make — but the request is
+            // still the profiled program's own I/O (not external).
+            return (Source::Wnic, false);
+        }
+        if self.wnic_out(now) {
+            // Link down: fail over to the disk regardless of preference.
+            // The policy still observes the outcome (measured adaptation).
+            return (Source::Disk, false);
+        }
+        let Runner { policy, disk, wnic, layout, cache, .. } = self;
+        let resident =
+            |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+        let ctx = PolicyCtx { now, disk, wnic, layout, resident: &resident };
+        (policy.select(&ctx, req), false)
+    }
+
+    fn notify_observe(
+        &mut self,
+        now: SimTime,
+        req: &AppRequest,
+        source: Option<Source>,
+        outcome: &ServiceOutcome,
+    ) {
+        let Runner { policy, disk, wnic, layout, cache, .. } = self;
+        let resident =
+            |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+        let ctx = PolicyCtx { now, disk, wnic, layout, resident: &resident };
+        policy.observe(&ctx, req, source, outcome);
+    }
+
+    /// Service one device request, tallying stats. Returns the outcome.
+    fn service(&mut self, at: SimTime, source: Source, req: DeviceRequest) -> ServiceOutcome {
+        match source {
+            Source::Disk => {
+                self.disk_requests += 1;
+                self.disk_bytes += req.bytes;
+                self.disk.service(at, &req)
+            }
+            Source::Wnic => {
+                self.wnic_requests += 1;
+                self.wnic_bytes += req.bytes;
+                self.wnic.service(at, &req)
+            }
+        }
+    }
+
+    /// Fetch a set of page runs of `file` from `source`. `blocking` runs
+    /// gate the application (their max completion is returned); the rest
+    /// (readahead) just occupy the device.
+    fn fetch_runs(
+        &mut self,
+        t: SimTime,
+        file: FileId,
+        source: Source,
+        demand: &[(u64, u64)],
+        prefetch: &[(u64, u64)],
+    ) -> (SimTime, Joules) {
+        let mut app_done = t;
+        let mut energy = Joules::ZERO;
+
+        // Flash tier: pages resident in flash are served there; the rest
+        // go to the routed device and are then copied into flash.
+        let (demand, prefetch) = if self.flash.is_some() {
+            let (hit_d, miss_d) = self.partition_flash(file, demand);
+            let (_, miss_p) = self.partition_flash(file, prefetch);
+            // Serve flash hits (blocking for the application).
+            let mut cur = t;
+            for &(page, n) in &hit_d {
+                let _ = page;
+                let req = DeviceRequest::read(Bytes(n * PAGE_SIZE), None);
+                let (f, _) = self.flash.as_mut().expect("checked");
+                let out = f.service(cur, &req);
+                cur = out.complete;
+                energy += out.energy;
+                self.flash_requests += 1;
+                self.flash_bytes += req.bytes;
+            }
+            app_done = app_done.max(cur);
+            // Populate flash with what the device is about to fetch.
+            let mut spilled = Vec::new();
+            for runs in [&miss_d, &miss_p] {
+                for &(page, n) in runs {
+                    for pg in page..page + n {
+                        let (_, fc) = self.flash.as_mut().expect("checked");
+                        spilled.extend(fc.insert_clean(PageKey { file, index: pg }));
+                    }
+                }
+            }
+            // Dirty pages squeezed out of flash must reach the disk now.
+            if !spilled.is_empty() {
+                let (d, e) = self.write_pages_to_disk(cur, &spilled);
+                let _ = d;
+                energy += e;
+            }
+            (hit_keep(miss_d), hit_keep(miss_p))
+        } else {
+            (demand.to_vec(), prefetch.to_vec())
+        };
+        let (demand, prefetch) = (&demand[..], &prefetch[..]);
+        match source {
+            Source::Disk => {
+                // C-SCAN over the combined batch; tag 1 = demand.
+                let mut q = CScanQueue::new();
+                for &(page, n) in demand {
+                    if let Some(start) = self.layout.block_of(file, page * PAGE_SIZE) {
+                        q.push(BlockRequest { start, blocks: n, tag: 1 });
+                    }
+                }
+                for &(page, n) in prefetch {
+                    if let Some(start) = self.layout.block_of(file, page * PAGE_SIZE) {
+                        q.push(BlockRequest { start, blocks: n, tag: 0 });
+                    }
+                }
+                let mut cur = t;
+                for r in q.drain_sweep() {
+                    let req = DeviceRequest::read(Bytes(r.blocks * PAGE_SIZE), Some(r.start));
+                    let out = self.service(cur, Source::Disk, req);
+                    cur = out.complete;
+                    energy += out.energy;
+                    if r.tag == 1 {
+                        app_done = app_done.max(out.complete);
+                    }
+                }
+            }
+            Source::Wnic => {
+                let mut cur = t;
+                for &(_page, n) in demand {
+                    let req = DeviceRequest::read(Bytes(n * PAGE_SIZE), None);
+                    let out = self.service(cur, Source::Wnic, req);
+                    cur = out.complete;
+                    energy += out.energy;
+                    app_done = app_done.max(out.complete);
+                }
+                for &(page, n) in prefetch {
+                    let _ = page;
+                    let req = DeviceRequest::read(Bytes(n * PAGE_SIZE), None);
+                    let out = self.service(cur, Source::Wnic, req);
+                    cur = out.complete;
+                    energy += out.energy;
+                }
+            }
+        }
+        (app_done, energy)
+    }
+
+    /// Split page runs of `file` by flash residency (runs stay
+    /// contiguous). Flash LRU positions refresh on lookups.
+    fn partition_flash(&mut self, file: FileId, runs: &[(u64, u64)]) -> (PageRuns, PageRuns) {
+        let (_, fc) = self.flash.as_mut().expect("flash present");
+        let mut hits: PageRuns = Vec::new();
+        let mut misses: PageRuns = Vec::new();
+        for &(page, n) in runs {
+            for pg in page..page + n {
+                let hit = fc.lookup(PageKey { file, index: pg });
+                let bucket = if hit { &mut hits } else { &mut misses };
+                match bucket.last_mut() {
+                    Some((s, len)) if *s + *len == pg => *len += 1,
+                    _ => bucket.push((pg, 1)),
+                }
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Force pages to the physical disk (flash spill / destage path).
+    fn write_pages_to_disk(&mut self, t: SimTime, pages: &[PageKey]) -> (SimTime, Joules) {
+        let mut cur = t;
+        let mut energy = Joules::ZERO;
+        for (start, n) in page_runs(pages) {
+            let block = self.layout.block_of(start.file, start.index * PAGE_SIZE);
+            let req = DeviceRequest::write(Bytes(n * PAGE_SIZE), block);
+            let out = self.service(cur, Source::Disk, req);
+            cur = out.complete;
+            energy += out.energy;
+        }
+        (cur, energy)
+    }
+
+    /// Write evicted-dirty pages out synchronously (they gate the
+    /// operation that forced the eviction).
+    fn write_dirty(&mut self, t: SimTime, pages: &[PageKey], source: Source) -> (SimTime, Joules) {
+        let mut cur = t;
+        let mut energy = Joules::ZERO;
+        for run in page_runs(pages) {
+            let block = self.layout.block_of(run.0.file, run.0.index * PAGE_SIZE);
+            let src = if self.cfg.disk_only_files.contains(&run.0.file) {
+                Source::Disk
+            } else if self.cfg.network_only_files.contains(&run.0.file) {
+                Source::Wnic
+            } else {
+                source
+            };
+            let bytes = Bytes(run.1 * PAGE_SIZE);
+            // Flash write buffering: a write aimed at a sleeping disk
+            // parks in flash instead of forcing a spin-up.
+            if src == Source::Disk && self.flash.is_some() && !self.disk.is_ready() {
+                let req = DeviceRequest::write(bytes, None);
+                let (f, _) = self.flash.as_mut().expect("checked");
+                let out = f.service(cur, &req);
+                cur = out.complete;
+                energy += out.energy;
+                self.flash_requests += 1;
+                self.flash_bytes += bytes;
+                let mut spilled = Vec::new();
+                for pg in run.0.index..run.0.index + run.1 {
+                    let (_, fc) = self.flash.as_mut().expect("checked");
+                    spilled
+                        .extend(fc.buffer_write(PageKey { file: run.0.file, index: pg }));
+                }
+                if !spilled.is_empty() {
+                    let (d, e) = self.write_pages_to_disk(cur, &spilled);
+                    cur = d;
+                    energy += e;
+                }
+                continue;
+            }
+            let req = DeviceRequest::write(
+                bytes,
+                if src == Source::Disk { block } else { None },
+            );
+            let out = self.service(cur, src, req);
+            cur = out.complete;
+            energy += out.energy;
+            // §5 extension: synchronise local writes to the server. The
+            // upload rides the WNIC asynchronously (device busy, app not
+            // blocked beyond the primary write).
+            if self.cfg.sync_writes && src == Source::Disk {
+                let up = DeviceRequest::write(bytes, None);
+                let out = self.service(cur, Source::Wnic, up);
+                energy += out.energy;
+            }
+        }
+        (cur, energy)
+    }
+
+    /// Process one application system call; returns its completion time.
+    fn process_call(&mut self, t: SimTime, rec: &TraceRecord) -> SimTime {
+        self.app_requests += 1;
+        let meta_size = self
+            .trace
+            .files
+            .get(rec.file)
+            .map(|m| m.size)
+            .expect("validated trace");
+        let app_req =
+            AppRequest { file: rec.file, op: rec.op, offset: rec.offset, len: rec.len };
+
+        let mut energy = Joules::ZERO;
+        let mut done = t;
+        let mut routed: Option<(Source, bool)> = None;
+
+        match rec.op {
+            IoOp::Read => {
+                let out = self.cache.read(t, rec.file, rec.offset, rec.len, meta_size);
+                if !out.demand.is_empty()
+                    || !out.prefetch.is_empty()
+                    || !out.evicted_dirty.is_empty()
+                {
+                    let (source, external) = self.route(t, &app_req);
+                    routed = Some((source, external));
+                    let (d1, e1) = self.write_dirty(t, &out.evicted_dirty, source);
+                    let (d2, e2) =
+                        self.fetch_runs(d1, rec.file, source, &out.demand, &out.prefetch);
+                    energy += e1 + e2;
+                    done = d2;
+                    // Device-visible activity feeds the stage observer.
+                    let fetched = out.fetch_pages() * PAGE_SIZE;
+                    if fetched > 0 {
+                        self.observed.observe(
+                            t,
+                            done,
+                            rec.file,
+                            IoOp::Read,
+                            rec.offset,
+                            Bytes(fetched),
+                        );
+                    }
+                }
+            }
+            IoOp::Write => {
+                // Into the page cache; the flusher pays the device cost.
+                let wout = self.cache.write(t, rec.file, rec.offset, rec.len);
+                if !wout.evicted_dirty.is_empty() {
+                    let (source, external) = self.route(t, &app_req);
+                    routed = Some((source, external));
+                    let (d, e) = self.write_dirty(t, &wout.evicted_dirty, source);
+                    energy += e;
+                    done = d;
+                }
+            }
+        }
+
+        // Profile feedback for every non-external application call —
+        // §2.1: the profile records system calls regardless of where (or
+        // whether) the data was serviced.
+        let external = routed.map(|(_, ext)| ext).unwrap_or_else(|| {
+            self.cfg.disk_only_files.contains(&rec.file)
+        });
+        if !external {
+            let source = routed.map(|(s, _)| s);
+            let outcome = ServiceOutcome {
+                complete: done,
+                service_time: done.saturating_since(t),
+                energy,
+            };
+            self.notify_observe(done, &app_req, source, &outcome);
+        }
+        done
+    }
+
+    /// Flusher wake-up: write back due dirty pages asynchronously, and
+    /// destage flash-buffered writes while the disk is awake.
+    fn flush(&mut self, now: SimTime) {
+        self.disk.advance_to(now);
+        let ready = self.disk.is_ready();
+        if ready {
+            if let Some((_, fc)) = &mut self.flash {
+                let destage = fc.take_destage();
+                if !destage.is_empty() {
+                    let _ = self.write_pages_to_disk(now, &destage);
+                }
+            }
+        }
+        let pages = self.cache.flush_due(now, ready);
+        if pages.is_empty() {
+            return;
+        }
+        // Route the batch: pinned files to the disk, the rest wherever
+        // the policy currently points writes.
+        let probe = AppRequest {
+            file: pages[0].file,
+            op: IoOp::Write,
+            offset: pages[0].index * PAGE_SIZE,
+            len: Bytes(PAGE_SIZE),
+        };
+        let (source, _) = self.route(now, &probe);
+        let _ = self.write_dirty(now, &pages, source);
+    }
+
+    fn end_stage(&mut self, now: SimTime) {
+        self.disk.advance_to(now);
+        self.wnic.advance_to(now);
+        // A burst spanning the boundary is split so the stage's audit
+        // sees the traffic that actually happened during the stage.
+        self.observed.split_now();
+        let report = ff_policy::StageReport {
+            index: self.stage_index,
+            start: self.stage_start,
+            end: now,
+            observed: self.observed.take_completed(),
+            disk_energy: self.disk.energy() - self.disk_mark,
+            wnic_energy: self.wnic.energy() - self.wnic_mark,
+        };
+        {
+            let Runner { policy, disk, wnic, layout, cache, .. } = self;
+            let resident =
+                |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+            let ctx = PolicyCtx { now, disk, wnic, layout, resident: &resident };
+            policy.on_stage_end(&ctx, &report);
+        }
+        let fetched_now = self.disk_bytes + self.wnic_bytes;
+        self.stage_summaries.push(crate::report::StageSummary {
+            index: self.stage_index,
+            start: self.stage_start,
+            end: now,
+            disk_energy: report.disk_energy,
+            wnic_energy: report.wnic_energy,
+            fetched: fetched_now.saturating_sub(self.stage_bytes_mark),
+        });
+        self.stage_bytes_mark = fetched_now;
+        self.stage_index += 1;
+        self.stages_done += 1;
+        self.stage_start = now;
+        self.disk_mark = self.disk.energy();
+        self.wnic_mark = self.wnic.energy();
+    }
+
+    fn run(mut self) -> Result<SimReport> {
+        while let Some(Reverse((t, _, kind))) = self.events.pop() {
+            match kind {
+                EventKind::Issue(pid) => {
+                    let (idx, think) = self
+                        .queues
+                        .get_mut(&pid)
+                        .and_then(|q| q.pop_front())
+                        .expect("issue event without queued record");
+                    let rec = &self.trace.records[idx];
+                    let done = self.process_call(t, &rec.clone());
+                    self.last_completion = self.last_completion.max(done);
+                    self.remaining_calls -= 1;
+                    if self.queues.get(&pid).map(|q| !q.is_empty()).unwrap_or(false) {
+                        self.push_event(done + think, EventKind::Issue(pid));
+                    }
+                }
+                EventKind::Flush => {
+                    self.flush(t);
+                    if self.remaining_calls > 0 {
+                        self.push_event(
+                            t + self.cfg.cache.writeback.wakeup_interval,
+                            EventKind::Flush,
+                        );
+                    }
+                }
+                EventKind::StageEnd => {
+                    self.end_stage(t);
+                    if self.remaining_calls > 0 {
+                        self.push_event(t + self.cfg.stage_len, EventKind::StageEnd);
+                    }
+                }
+                EventKind::WnicChange(i) => {
+                    let (_, mbps) = self.cfg.wnic_bandwidth_schedule[i];
+                    self.wnic.advance_to(t);
+                    self.wnic
+                        .set_bandwidth(ff_base::BytesPerSec::from_mbit_per_sec(mbps));
+                }
+            }
+        }
+
+        // Final sync: everything still dirty is written out, then both
+        // devices are advanced to the end of the run.
+        let end = self.last_completion;
+        let dirty = self.cache.flush_all();
+        if !dirty.is_empty() {
+            let probe = AppRequest {
+                file: dirty[0].file,
+                op: IoOp::Write,
+                offset: dirty[0].index * PAGE_SIZE,
+                len: Bytes(PAGE_SIZE),
+            };
+            let (source, _) = self.route(end, &probe);
+            let _ = self.write_dirty(end, &dirty, source);
+        }
+        // Final destage of any flash-buffered writes.
+        if let Some((_, fc)) = &mut self.flash {
+            let destage = fc.take_destage();
+            if !destage.is_empty() {
+                let _ = self.write_pages_to_disk(end, &destage);
+            }
+        }
+        let final_t = end
+            .max(self.disk.clock())
+            .max(self.wnic.clock())
+            .max(self.flash.as_ref().map(|(f, _)| f.clock()).unwrap_or(SimTime::ZERO));
+        self.disk.advance_to(final_t);
+        self.wnic.advance_to(final_t);
+        if let Some((f, _)) = &mut self.flash {
+            f.advance_to(final_t);
+        }
+
+        let (hits, misses) = self.cache.hit_stats();
+        Ok(SimReport {
+            policy: self.policy.name().to_string(),
+            workload: self.trace.name.clone(),
+            exec_time: self.last_completion.saturating_since(SimTime::ZERO),
+            disk_energy: self.disk.energy(),
+            wnic_energy: self.wnic.energy(),
+            disk_meter: self.disk.meter().clone(),
+            wnic_meter: self.wnic.meter().clone(),
+            app_requests: self.app_requests,
+            disk_requests: self.disk_requests,
+            wnic_requests: self.wnic_requests,
+            disk_bytes: self.disk_bytes,
+            wnic_bytes: self.wnic_bytes,
+            flash_energy: self
+                .flash
+                .as_ref()
+                .map(|(f, _)| f.energy())
+                .unwrap_or(Joules::ZERO),
+            flash_meter: self.flash.as_ref().map(|(f, _)| f.meter().clone()),
+            flash_requests: self.flash_requests,
+            flash_bytes: self.flash_bytes,
+            cache_hits: hits,
+            cache_misses: misses,
+            stages: self.stages_done,
+            recorded_profile: self.policy.recorded_profile(),
+            decisions: self.policy.take_decision_log(),
+            stage_summaries: self.stage_summaries,
+        })
+    }
+}
+
+/// Identity helper naming the flash-miss runs that continue to the
+/// routed device.
+fn hit_keep(runs: PageRuns) -> PageRuns {
+    runs
+}
+
+/// Group sorted page keys into per-file contiguous runs.
+fn page_runs(pages: &[PageKey]) -> Vec<(PageKey, u64)> {
+    let mut sorted: Vec<PageKey> = pages.to_vec();
+    sorted.sort();
+    let mut runs: Vec<(PageKey, u64)> = Vec::new();
+    for p in sorted {
+        match runs.last_mut() {
+            Some((start, n)) if start.file == p.file && start.index + *n == p.index => {
+                *n += 1;
+            }
+            _ => runs.push((p, 1)),
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ff_trace::{Grep, Workload};
+
+    fn grep_small() -> Trace {
+        Grep { files: 40, total_bytes: 4_000_000, ..Default::default() }.build(7)
+    }
+
+    #[test]
+    fn page_runs_group_contiguous() {
+        let f = FileId(1);
+        let pages = vec![
+            PageKey { file: f, index: 3 },
+            PageKey { file: f, index: 1 },
+            PageKey { file: f, index: 2 },
+            PageKey { file: FileId(2), index: 4 },
+        ];
+        let runs = page_runs(&pages);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0], (PageKey { file: f, index: 1 }, 3));
+        assert_eq!(runs[1], (PageKey { file: FileId(2), index: 4 }, 1));
+    }
+
+    #[test]
+    fn disk_only_run_completes() {
+        let trace = grep_small();
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        assert!(report.total_energy().get() > 0.0);
+        assert_eq!(report.wnic_requests, 0, "Disk-only must never touch the WNIC");
+        assert!(report.disk_bytes.get() >= 4_000_000, "all data fetched");
+        assert_eq!(report.app_requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn wnic_only_run_never_reads_disk() {
+        let trace = grep_small();
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert_eq!(report.disk_requests, 0);
+        assert!(report.wnic_bytes.get() >= 4_000_000);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let trace = grep_small();
+        let a = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::BlueFs)
+            .run()
+            .unwrap();
+        let b = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::BlueFs)
+            .run()
+            .unwrap();
+        assert_eq!(a.total_energy(), b.total_energy());
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.disk_requests, b.disk_requests);
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let trace = Trace::new("empty");
+        assert!(Simulation::new(SimConfig::default(), &trace).run().is_err());
+    }
+
+    #[test]
+    fn cache_absorbs_rereads() {
+        // Read the same small file set twice: second pass must be hits.
+        let t1 = grep_small();
+        let t2 = grep_small();
+        let both = t1.concat(&t2, Dur::from_secs(1)).unwrap();
+        let report = Simulation::new(SimConfig::default(), &both)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        assert!(
+            report.hit_ratio() > 0.4,
+            "second pass should hit the cache, ratio {}",
+            report.hit_ratio()
+        );
+        // Device traffic well below two full passes.
+        assert!(report.disk_bytes.get() < 4_000_000 * 3 / 2);
+    }
+
+    #[test]
+    fn wnic_only_disk_spins_down_and_stays_down() {
+        let trace = grep_small();
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        // The unused disk spins down exactly once (if the run outlasts the
+        // 20 s timeout) and never back up.
+        assert_eq!(report.disk_meter.transition_count("spin_up"), 0);
+        assert!(report.disk_meter.transition_count("spin_down") <= 1);
+    }
+
+    #[test]
+    fn pinned_files_force_disk_despite_wnic_policy() {
+        let trace = grep_small();
+        let pinned: Vec<FileId> = trace.files.iter().map(|f| f.id).collect();
+        let cfg = SimConfig::default().with_disk_only_files(pinned);
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert_eq!(report.wnic_requests, 0, "pinned files must never ride the WNIC");
+        assert!(report.disk_requests > 0);
+    }
+
+    #[test]
+    fn stages_are_counted() {
+        use ff_trace::Xmms;
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(120)),
+            ..Default::default()
+        }
+        .build(3);
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        // ~2 min run with 40 s stages → at least 2 boundaries.
+        assert!(report.stages >= 2, "stages {}", report.stages);
+    }
+
+    #[test]
+    fn network_only_files_force_the_wnic() {
+        let trace = grep_small();
+        let server_only: Vec<FileId> = trace.files.iter().map(|f| f.id).collect();
+        let cfg = SimConfig::default().with_network_only_files(server_only);
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::DiskOnly) // policy wants the disk…
+            .run()
+            .unwrap();
+        assert_eq!(report.disk_requests, 0, "non-hoarded files cannot hit the disk");
+        assert!(report.wnic_requests > 0);
+    }
+
+    #[test]
+    fn partial_hoard_splits_traffic() {
+        let trace = grep_small();
+        let half: Vec<FileId> =
+            trace.files.iter().map(|f| f.id).filter(|f| f.0 % 2 == 0).collect();
+        let cfg = SimConfig::default().with_network_only_files(half);
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        assert!(report.disk_requests > 0);
+        assert!(report.wnic_requests > 0);
+    }
+
+    #[test]
+    fn sync_writes_mirror_to_the_server() {
+        use ff_trace::{Make, Workload};
+        let trace = Make {
+            units: 15,
+            headers: 30,
+            misc: 2,
+            input_bytes: 1_500_000,
+            ..Default::default()
+        }
+        .build(3);
+        let plain = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        let synced = Simulation::new(SimConfig::default().with_sync_writes(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        assert_eq!(plain.wnic_requests, 0);
+        assert!(synced.wnic_requests > 0, "sync must upload dirty pages");
+        assert!(synced.total_energy() > plain.total_energy());
+        // Reads are unaffected: disk fetch traffic identical.
+        assert_eq!(plain.disk_bytes, synced.disk_bytes);
+    }
+
+    #[test]
+    fn wnic_only_writer_pays_nothing_for_sync() {
+        use ff_trace::{Make, Workload};
+        let trace = Make {
+            units: 10,
+            headers: 20,
+            misc: 2,
+            input_bytes: 1_000_000,
+            ..Default::default()
+        }
+        .build(4);
+        let plain = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        let synced = Simulation::new(SimConfig::default().with_sync_writes(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        // Write-back already targets the server; sync adds no mirror.
+        assert_eq!(plain.wnic_bytes, synced.wnic_bytes);
+        assert_eq!(plain.total_energy(), synced.total_energy());
+    }
+
+    #[test]
+    fn flash_absorbs_rereads_beyond_ram() {
+        // RAM cache too small for the working set; a flash tier catches
+        // the second pass instead of the device.
+        let t1 = grep_small();
+        let both = t1.concat(&grep_small(), Dur::from_secs(1)).unwrap();
+        let tiny_ram = |flash_mb: usize| {
+            let mut cfg = SimConfig::default();
+            cfg.cache.capacity_pages = 128; // 512 KiB RAM
+            if flash_mb > 0 {
+                cfg = cfg.with_flash_mb(flash_mb);
+            }
+            Simulation::new(cfg, &both).policy(PolicyKind::WnicOnly).run().unwrap()
+        };
+        let without = tiny_ram(0);
+        let with = tiny_ram(64);
+        assert!(with.flash_requests > 0, "flash never hit");
+        assert!(
+            with.wnic_bytes < without.wnic_bytes,
+            "flash must absorb device traffic: {} vs {}",
+            with.wnic_bytes,
+            without.wnic_bytes
+        );
+        assert!(
+            with.total_energy() < without.total_energy(),
+            "flash must save energy here: {} vs {}",
+            with.total_energy(),
+            without.total_energy()
+        );
+    }
+
+    #[test]
+    fn flash_buffers_writes_for_a_sleeping_disk() {
+        use ff_trace::{Make, Workload};
+        let trace = Make {
+            units: 12,
+            headers: 24,
+            misc: 2,
+            input_bytes: 1_200_000,
+            compile_think: (Dur::from_secs(25), Dur::from_secs(30)),
+            ..Default::default()
+        }
+        .build(5);
+        // Long compile gaps let the disk sleep; Disk-only writes would
+        // wake it — unless flash buffers them.
+        let run = |flash: bool| {
+            let mut cfg = SimConfig::default();
+            if flash {
+                cfg = cfg.with_flash_mb(64);
+            }
+            Simulation::new(cfg, &trace).policy(PolicyKind::DiskOnly).run().unwrap()
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with.disk_meter.transition_count("spin_up")
+                <= without.disk_meter.transition_count("spin_up"),
+            "flash must not increase spin-ups"
+        );
+        assert!(with.flash_bytes.get() > 0);
+    }
+
+    #[test]
+    fn flash_energy_is_metered_and_totalled() {
+        let trace = grep_small();
+        let cfg = SimConfig::default().with_flash_mb(32);
+        let r = Simulation::new(cfg, &trace).policy(PolicyKind::DiskOnly).run().unwrap();
+        let meter = r.flash_meter.as_ref().expect("flash configured");
+        assert!((meter.total().get() - r.flash_energy.get()).abs() < 1e-9);
+        assert!(r.flash_energy.get() > 0.0, "idle draw alone is non-zero");
+        assert!(
+            r.total_energy().get()
+                >= (r.disk_energy + r.wnic_energy).get() + r.flash_energy.get() - 1e-9
+        );
+    }
+
+    #[test]
+    fn stage_summaries_partition_energy() {
+        use ff_trace::Xmms;
+        let trace = Xmms { play_limit: Some(Dur::from_secs(200)), ..Default::default() }
+            .build(3);
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        assert_eq!(report.stage_summaries.len(), report.stages);
+        // Stage energies sum to at most the run total (the tail after the
+        // last boundary is not in any stage).
+        let staged: f64 =
+            report.stage_summaries.iter().map(|s| s.total_energy().get()).sum();
+        assert!(staged <= report.total_energy().get() + 1e-6);
+        assert!(staged > report.total_energy().get() * 0.5, "stages cover most of the run");
+        // Contiguous, ordered stage windows.
+        for w in report.stage_summaries.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            assert_eq!(w[0].index + 1, w[1].index);
+        }
+    }
+
+    #[test]
+    fn outage_fails_over_to_disk() {
+        use ff_trace::Xmms;
+        let trace = Xmms { play_limit: Some(Dur::from_secs(120)), ..Default::default() }
+            .build(8);
+        // Link down for the whole run: WNIC-only policy still ends up on
+        // the disk.
+        let cfg = SimConfig::default()
+            .with_wnic_outage(Dur::ZERO, Dur::from_secs(100_000));
+        let report =
+            Simulation::new(cfg, &trace).policy(PolicyKind::WnicOnly).run().unwrap();
+        assert_eq!(report.wnic_requests, 0, "outage must block the WNIC");
+        assert!(report.disk_requests > 0);
+    }
+
+    #[test]
+    fn partial_outage_splits_traffic() {
+        use ff_trace::Xmms;
+        let trace = Xmms { play_limit: Some(Dur::from_secs(200)), ..Default::default() }
+            .build(8);
+        let cfg = SimConfig::default()
+            .with_wnic_outage(Dur::from_secs(50), Dur::from_secs(150));
+        let report =
+            Simulation::new(cfg, &trace).policy(PolicyKind::WnicOnly).run().unwrap();
+        assert!(report.wnic_requests > 0, "link is up outside the outage");
+        assert!(report.disk_requests > 0, "failover during the outage");
+    }
+
+    #[test]
+    fn unhoarded_file_stalls_through_outage() {
+        use ff_trace::Xmms;
+        let trace = Xmms { play_limit: Some(Dur::from_secs(60)), ..Default::default() }
+            .build(8);
+        let all: Vec<FileId> = trace.files.iter().map(|f| f.id).collect();
+        let outage_end = Dur::from_secs(500);
+        let cfg = SimConfig::default()
+            .with_network_only_files(all)
+            .with_wnic_outage(Dur::ZERO, outage_end);
+        let report =
+            Simulation::new(cfg, &trace).policy(PolicyKind::DiskOnly).run().unwrap();
+        assert_eq!(report.disk_requests, 0, "no local copies exist");
+        // The run cannot finish before the link returns.
+        assert!(report.exec_time >= outage_end, "exec {}", report.exec_time);
+    }
+
+    #[test]
+    fn bandwidth_change_slows_later_transfers() {
+        let trace = grep_small();
+        let fast = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        // Degrade to 1 Mbps almost immediately.
+        let cfg = SimConfig::default().with_bandwidth_change(Dur::from_millis(100), 1.0);
+        let degraded = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert!(
+            degraded.exec_time > fast.exec_time,
+            "degraded link must slow the replay: {} vs {}",
+            degraded.exec_time,
+            fast.exec_time
+        );
+        assert!(degraded.total_energy() > fast.total_energy());
+    }
+
+    #[test]
+    fn flexfetch_records_a_profile() {
+        let trace = grep_small();
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::flexfetch(ff_profile::Profile::empty("grep")))
+            .run()
+            .unwrap();
+        let profile = report.recorded_profile.expect("FlexFetch must record");
+        assert!(!profile.is_empty());
+        assert_eq!(profile.app, "grep");
+    }
+
+    #[test]
+    fn exec_time_exceeds_trace_span_when_device_is_slow() {
+        let trace = grep_small();
+        let fast = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        let slow_cfg = SimConfig::default().with_wnic_bandwidth_mbps(1.0);
+        let slow = Simulation::new(slow_cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert!(
+            slow.exec_time > fast.exec_time,
+            "1 Mbps WNIC replay must run longer than the disk replay"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Workload characterisation.
+//!
+//! The quantities §1.2/§2.1 argue make I/O behaviour predictable — burst
+//! sizes, think-time distribution, sequentiality, file-access skew — as
+//! measurable statistics over any [`Trace`]. Used by the `trace_stats`
+//! binary and handy for validating imported real-world traces against
+//! the synthetic generators.
+
+use crate::model::{IoOp, Trace};
+use ff_base::{Bytes, Dur};
+use std::collections::BTreeMap;
+
+/// Distribution summary of a set of durations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DurStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: Dur,
+    /// Median (p50).
+    pub p50: Dur,
+    /// 90th percentile.
+    pub p90: Dur,
+    /// Largest sample.
+    pub max: Dur,
+    /// Arithmetic mean.
+    pub mean: Dur,
+}
+
+impl DurStats {
+    /// Summarise `samples` (returns `None` when empty).
+    pub fn of(mut samples: Vec<Dur>) -> Option<DurStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let count = samples.len();
+        let pick = |q: f64| samples[((count - 1) as f64 * q) as usize];
+        let sum: u64 = samples.iter().map(|d| d.as_micros()).sum();
+        Some(DurStats {
+            count,
+            min: samples[0],
+            p50: pick(0.5),
+            p90: pick(0.9),
+            max: samples[count - 1],
+            mean: Dur::from_micros(sum / count as u64),
+        })
+    }
+}
+
+/// Full characterisation of a trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Think-time distribution (gaps between a call's completion and the
+    /// same process group's next call).
+    pub think_times: Option<DurStats>,
+    /// Fraction of gaps below the 20 ms burst threshold — how "bursty"
+    /// the workload is (grep ≈ 1.0, xmms ≈ 0.0).
+    pub burstiness: f64,
+    /// Fraction of requests that sequentially extend the previous
+    /// request on the same file.
+    pub sequentiality: f64,
+    /// Mean request size.
+    pub mean_request: Bytes,
+    /// Read fraction of requested bytes.
+    pub read_fraction: f64,
+    /// Bytes requested per distinct file, sorted descending — the skew
+    /// §1.2's predictability rests on.
+    pub file_bytes_ranked: Vec<(u64, Bytes)>,
+    /// Fraction of all bytes landing in the hottest 10 % of files.
+    pub top_decile_share: f64,
+}
+
+/// Analyse a trace.
+pub fn analyze(trace: &Trace) -> TraceAnalysis {
+    let mut gaps = Vec::new();
+    let mut last_end: BTreeMap<u32, ff_base::SimTime> = BTreeMap::new();
+    let mut last_extent: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut sequential = 0usize;
+    let mut per_file: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut read_bytes = 0u64;
+    let mut total_bytes = 0u64;
+
+    for r in &trace.records {
+        if let Some(&pe) = last_end.get(&r.pgid) {
+            gaps.push(r.ts.saturating_since(pe));
+        }
+        last_end.insert(r.pgid, r.end());
+        if last_extent.get(&r.file.0) == Some(&r.offset) {
+            sequential += 1;
+        }
+        last_extent.insert(r.file.0, r.end_offset());
+        *per_file.entry(r.file.0).or_default() += r.len.get();
+        total_bytes += r.len.get();
+        if r.op == IoOp::Read {
+            read_bytes += r.len.get();
+        }
+    }
+
+    let burstiness = if gaps.is_empty() {
+        1.0
+    } else {
+        gaps.iter().filter(|g| **g < Dur::from_millis(20)).count() as f64
+            / gaps.len() as f64
+    };
+    let mut ranked: Vec<(u64, Bytes)> =
+        per_file.into_iter().map(|(f, b)| (f, Bytes(b))).collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let top_n = (ranked.len() / 10).max(1);
+    let top_bytes: u64 = ranked.iter().take(top_n).map(|&(_, b)| b.get()).sum();
+
+    TraceAnalysis {
+        think_times: DurStats::of(gaps),
+        burstiness,
+        sequentiality: if trace.is_empty() {
+            0.0
+        } else {
+            sequential as f64 / trace.len() as f64
+        },
+        mean_request: Bytes(total_bytes / trace.len().max(1) as u64),
+        read_fraction: if total_bytes == 0 {
+            0.0
+        } else {
+            read_bytes as f64 / total_bytes as f64
+        },
+        top_decile_share: if total_bytes == 0 {
+            0.0
+        } else {
+            top_bytes as f64 / total_bytes as f64
+        },
+        file_bytes_ranked: ranked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{Grep, Make, Workload, Xmms};
+
+    #[test]
+    fn grep_is_bursty_and_sequential() {
+        let t = Grep { files: 50, total_bytes: 3_000_000, ..Default::default() }.build(1);
+        let a = analyze(&t);
+        assert!(a.burstiness > 0.95, "grep burstiness {}", a.burstiness);
+        assert!(a.sequentiality > 0.4, "grep sequentiality {}", a.sequentiality);
+        assert!((a.read_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xmms_is_paced() {
+        let t = Xmms {
+            play_limit: Some(ff_base::Dur::from_secs(120)),
+            ..Default::default()
+        }
+        .build(1);
+        let a = analyze(&t);
+        assert!(a.burstiness < 0.1, "xmms burstiness {}", a.burstiness);
+        let think = a.think_times.unwrap();
+        assert!(think.p50 > Dur::from_secs(3), "xmms median think {}", think.p50);
+    }
+
+    #[test]
+    fn make_mixes_reads_and_writes() {
+        let t = Make {
+            units: 20,
+            headers: 40,
+            misc: 3,
+            input_bytes: 2_000_000,
+            ..Default::default()
+        }
+        .build(1);
+        let a = analyze(&t);
+        assert!(a.read_fraction > 0.5 && a.read_fraction < 1.0, "{}", a.read_fraction);
+        assert!(a.burstiness > 0.3 && a.burstiness < 0.98, "{}", a.burstiness);
+    }
+
+    #[test]
+    fn skew_is_captured() {
+        let t = crate::workloads::Thunderbird::default().build(2);
+        let a = analyze(&t);
+        // Thunderbird touches ~48 files; the hottest decile of them (a
+        // few of the 8 mboxes) still carries well over half the bytes.
+        assert!(a.top_decile_share > 0.5, "{}", a.top_decile_share);
+        assert!(!a.file_bytes_ranked.is_empty());
+        // Ranked descending.
+        for w in a.file_bytes_ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_trace_degenerates_gracefully() {
+        let a = analyze(&Trace::new("empty"));
+        assert!(a.think_times.is_none());
+        assert_eq!(a.sequentiality, 0.0);
+        assert_eq!(a.mean_request, Bytes::ZERO);
+        assert_eq!(a.top_decile_share, 0.0);
+    }
+
+    #[test]
+    fn durstats_percentiles() {
+        let s = DurStats::of((1..=100).map(Dur::from_millis).collect()).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, Dur::from_millis(1));
+        assert_eq!(s.max, Dur::from_millis(100));
+        assert_eq!(s.p50, Dur::from_millis(50));
+        assert_eq!(s.p90, Dur::from_millis(90));
+        assert!(DurStats::of(vec![]).is_none());
+    }
+}

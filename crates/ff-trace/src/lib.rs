@@ -1,0 +1,46 @@
+//! # ff-trace — I/O trace model and synthetic workloads
+//!
+//! The FlexFetch paper drives its simulator with system-call traces
+//! collected by a modified `strace` (§3.2). This crate provides:
+//!
+//! * the canonical in-memory trace model ([`Trace`], [`TraceRecord`],
+//!   [`FileSet`]) — pid, inode, offset, size, type, timestamp, duration,
+//!   exactly the fields the paper's collector records;
+//! * a text serialisation ([`strace`]) so traces can be persisted and
+//!   inspected, plus an importer for raw `strace -f -ttt -T` output
+//!   ([`strace_import`]) that rebuilds per-fd offsets the way the
+//!   paper's modified strace post-processor did;
+//! * the on-disk block layout model ([`layout`]) — files mapped
+//!   sequentially with a small random inter-file gap (§3.2);
+//! * deterministic generators for the six applications of Table 3
+//!   ([`workloads`]), plus combinators ([`Trace::concat`],
+//!   [`Trace::merge`]) used to build the paper's composite scenarios
+//!   (grep→make, grep+make ∥ xmms).
+
+//! ```
+//! use ff_trace::{Grep, Workload, analyze};
+//!
+//! // Generate the paper's grep workload and check its Table 3 row.
+//! let trace = Grep::default().build(42);
+//! let stats = trace.stats();
+//! assert_eq!(stats.files, 1332);
+//! assert!((stats.footprint.get() as f64 / 1e6 - 50.4).abs() < 1.0);
+//!
+//! // grep replays as one dense burst: nearly every gap is sub-threshold.
+//! assert!(analyze(&trace).burstiness > 0.95);
+//! ```
+
+pub mod analysis;
+pub mod layout;
+pub mod model;
+pub mod strace;
+pub mod strace_import;
+pub mod workloads;
+
+pub use analysis::{analyze, TraceAnalysis};
+pub use layout::DiskLayout;
+pub use model::{FileId, FileMeta, FileSet, IoOp, Trace, TraceRecord, TraceStats};
+pub use strace_import::{ImportStats, StraceImporter};
+pub use workloads::{
+    AccessPattern, Acroread, Grep, Make, Mplayer, Synthetic, Thunderbird, Workload, Xmms,
+};

@@ -1,0 +1,145 @@
+//! `Acroread` — "a PDF file reader" (Table 3: 10 files, 200 MB).
+//!
+//! §3.3.5 uses Acroread to test **invalid profiles**: the recorded
+//! profile comes from a run over *2 MB PDFs read every 25 s* (interval
+//! longer than the 20 s disk timeout → network looks good), but the
+//! current run searches *20 MB PDFs every 10 s* (bursty → disk is
+//! better). Two constructors produce the two variants.
+
+use super::{builder::TraceBuilder, Workload};
+use crate::model::Trace;
+use ff_base::{seeded_rng, split_seed, Bytes, Dur};
+use rand::Rng;
+
+/// Generator for the PDF-search workload.
+#[derive(Debug, Clone)]
+pub struct Acroread {
+    /// Number of PDF files.
+    pub files: usize,
+    /// Size of each PDF.
+    pub file_bytes: u64,
+    /// Keyword searches performed (each scans one whole file).
+    pub searches: usize,
+    /// User think time between searches.
+    pub interval: Dur,
+    /// Read size per call.
+    pub chunk: Bytes,
+}
+
+/// Inode namespace base for Acroread files.
+pub const ACROREAD_INODE_BASE: u64 = 60_000;
+/// Pid of the Acroread process.
+pub const ACROREAD_PID: u32 = 600;
+
+impl Acroread {
+    /// The *current run* of §3.3.5 and the Table 3 row: ten 20 MB PDFs
+    /// searched continuously with a 10 s interval.
+    pub fn large_search() -> Self {
+        Acroread {
+            files: 10,
+            file_bytes: 20_000_000,
+            searches: 10,
+            interval: Dur::from_secs(10),
+            chunk: Bytes::kib(64),
+        }
+    }
+
+    /// The *out-of-date profile* run of §3.3.5: 2 MB PDFs read with a
+    /// 25 s interval — longer than the 20 s disk spin-down timeout.
+    pub fn small_profile() -> Self {
+        Acroread {
+            files: 10,
+            file_bytes: 2_000_000,
+            searches: 10,
+            interval: Dur::from_secs(25),
+            chunk: Bytes::kib(64),
+        }
+    }
+}
+
+impl Default for Acroread {
+    fn default() -> Self {
+        Acroread::large_search()
+    }
+}
+
+impl Workload for Acroread {
+    fn name(&self) -> &'static str {
+        "acroread"
+    }
+
+    fn build(&self, seed: u64) -> Trace {
+        let mut rng = seeded_rng(split_seed(seed, 0xacc0));
+        let mut b = TraceBuilder::new(self.name(), ACROREAD_INODE_BASE);
+        let pdfs: Vec<_> = (0..self.files)
+            .map(|i| b.add_file(format!("docs/spec_{i}.pdf"), Bytes(self.file_bytes)))
+            .collect();
+        for s in 0..self.searches {
+            let pdf = pdfs[s % pdfs.len()];
+            // A keyword search scans the whole document.
+            b.read_file(ACROREAD_PID, pdf, self.chunk);
+            // User examines the hits, types the next keyword.
+            let jitter = rng.gen_range(0..500_000);
+            b.think(self.interval + Dur::from_micros(jitter));
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_variant_matches_table3() {
+        let t = Acroread::large_search().build(1);
+        assert_eq!(t.files.len(), 10);
+        assert_eq!(t.files.total_size(), Bytes(200_000_000));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn small_profile_interval_exceeds_disk_timeout() {
+        let a = Acroread::small_profile();
+        assert!(a.interval > Dur::from_secs(20), "must out-wait the spin-down timeout");
+        let t = a.build(2);
+        // Between two searches the gap is > 20 s.
+        let mut gaps = vec![];
+        for w in t.records.windows(2) {
+            let gap = w[1].ts.saturating_since(w[0].end());
+            if gap > Dur::from_secs(1) {
+                gaps.push(gap);
+            }
+        }
+        assert_eq!(gaps.len(), a.searches - 1 + 1 - 1, "one think gap per search boundary");
+        assert!(gaps.iter().all(|g| *g > Dur::from_secs(20)));
+    }
+
+    #[test]
+    fn large_variant_interval_is_within_disk_timeout() {
+        let a = Acroread::large_search();
+        let t = a.build(3);
+        let mut inter_search: Vec<Dur> = vec![];
+        for w in t.records.windows(2) {
+            let gap = w[1].ts.saturating_since(w[0].end());
+            if gap > Dur::from_secs(1) {
+                inter_search.push(gap);
+            }
+        }
+        assert!(inter_search.iter().all(|g| *g < Dur::from_secs(15)));
+    }
+
+    #[test]
+    fn each_search_scans_one_whole_file() {
+        let a = Acroread { files: 3, file_bytes: 1_000_000, searches: 4, ..Acroread::large_search() };
+        let t = a.build(4);
+        assert_eq!(t.stats().read_bytes, Bytes(4_000_000));
+    }
+
+    #[test]
+    fn variants_differ_in_burst_size() {
+        let small = Acroread::small_profile().build(5);
+        let large = Acroread::large_search().build(5);
+        assert_eq!(small.stats().read_bytes.get() * 10, large.stats().read_bytes.get());
+    }
+}

@@ -1,0 +1,105 @@
+//! `grep` — "a text search tool" (Table 3: 1332 files, 50.4 MB).
+//!
+//! §3.3.1: *"a large number of small files are first accessed in a very
+//! short period (grep)"* — a kernel programmer searching the Linux source
+//! tree. The whole run is essentially one long I/O burst: every file is
+//! read back to back with sub-millisecond pattern-matching think time
+//! between calls.
+
+use super::{builder::TraceBuilder, partition_sizes, Workload};
+use crate::model::Trace;
+use ff_base::{seeded_rng, split_seed, Bytes, Dur};
+use rand::Rng;
+
+/// Generator for the grep workload.
+#[derive(Debug, Clone)]
+pub struct Grep {
+    /// Number of source files scanned (Table 3: 1332).
+    pub files: usize,
+    /// Total bytes across all files (Table 3: 50.4 MB).
+    pub total_bytes: u64,
+    /// Read buffer size per `read()` call (GNU grep uses 32 KiB).
+    pub chunk: Bytes,
+    /// Upper bound on per-call matching think time.
+    pub max_think: Dur,
+}
+
+impl Default for Grep {
+    fn default() -> Self {
+        Grep {
+            files: 1332,
+            total_bytes: 50_400_000,
+            chunk: Bytes::kib(32),
+            max_think: Dur::from_micros(800),
+        }
+    }
+}
+
+/// Inode namespace base for grep files.
+pub const GREP_INODE_BASE: u64 = 10_000;
+/// Pid of the grep process.
+pub const GREP_PID: u32 = 100;
+
+impl Workload for Grep {
+    fn name(&self) -> &'static str {
+        "grep"
+    }
+
+    fn build(&self, seed: u64) -> Trace {
+        let mut rng = seeded_rng(split_seed(seed, 0x67e9));
+        let mut b = TraceBuilder::new(self.name(), GREP_INODE_BASE);
+        let sizes = partition_sizes(&mut rng, self.total_bytes, self.files, 512);
+        let files: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.add_file(format!("linux/src_{i}.c"), Bytes(s)))
+            .collect();
+        for f in files {
+            b.read_file(GREP_PID, f, self.chunk);
+            // Pattern matching on the buffer just read: far below the
+            // 20 ms burst threshold, so the scan stays one burst.
+            let think = rng.gen_range(0..=self.max_think.as_micros());
+            b.think(Dur::from_micros(think));
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_one_dense_burst() {
+        let t = Grep::default().build(1);
+        // Every inter-call gap must be below the 20 ms burst threshold.
+        let threshold = Dur::from_millis(20);
+        for w in t.records.windows(2) {
+            let gap = w[1].ts.saturating_since(w[0].end());
+            assert!(gap < threshold, "gap {gap} splits the grep burst");
+        }
+    }
+
+    #[test]
+    fn reads_every_file_completely() {
+        let g = Grep { files: 10, total_bytes: 1_000_000, ..Grep::default() };
+        let t = g.build(3);
+        assert_eq!(t.total_bytes(), Bytes(1_000_000));
+        assert_eq!(t.files.len(), 10);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn only_reads_no_writes() {
+        let t = Grep { files: 20, total_bytes: 200_000, ..Grep::default() }.build(1);
+        assert_eq!(t.stats().written_bytes, Bytes::ZERO);
+    }
+
+    #[test]
+    fn small_files_dominate() {
+        let t = Grep::default().build(5);
+        let avg = t.files.total_size().get() / t.files.len() as u64;
+        // ~38 KiB average source file.
+        assert!(avg < 80_000, "avg file size {avg} too large for grep corpus");
+    }
+}

@@ -1,0 +1,149 @@
+//! `mplayer` — "a movie player" (Table 3: 121 files, 136.3 MB).
+//!
+//! §3.3.2: *"Mplayer continuously accesses data, but only a small amount
+//! of data at a time"* and the inter-request gaps are *"sparsely
+//! distributed — an access pattern that makes accessing the disk energy
+//! inefficient."* The generator models a startup burst (codecs, fonts,
+//! config) followed by paced streaming of a large movie file at the video
+//! bit rate.
+
+use super::{builder::TraceBuilder, partition_sizes, Workload};
+use crate::model::Trace;
+use ff_base::{seeded_rng, split_seed, Bytes, Dur};
+use rand::Rng;
+
+/// Generator for the movie-playback workload.
+#[derive(Debug, Clone)]
+pub struct Mplayer {
+    /// Size of the movie file itself.
+    pub movie_bytes: u64,
+    /// Support files read at startup (codecs, fonts, config).
+    pub support_files: usize,
+    /// Total size of the support files.
+    pub support_bytes: u64,
+    /// Demuxer read size per refill.
+    pub chunk: Bytes,
+    /// Video bit rate in bits/second (sets the refill pace).
+    pub bitrate: u64,
+    /// Stop after this much played time (`None` = play to the end).
+    pub play_limit: Option<Dur>,
+}
+
+impl Default for Mplayer {
+    fn default() -> Self {
+        Mplayer {
+            movie_bytes: 120_000_000,
+            support_files: 120,
+            support_bytes: 16_300_000,
+            chunk: Bytes::kib(128),
+            bitrate: 445_000,
+            play_limit: Some(Dur::from_secs(600)),
+        }
+    }
+}
+
+/// Inode namespace base for mplayer files.
+pub const MPLAYER_INODE_BASE: u64 = 40_000;
+/// Pid of the mplayer process.
+pub const MPLAYER_PID: u32 = 400;
+
+impl Mplayer {
+    /// Refill interval implied by chunk size and bit rate.
+    pub fn refill_interval(&self) -> Dur {
+        Dur::from_secs_f64(self.chunk.get() as f64 / (self.bitrate as f64 / 8.0))
+    }
+}
+
+impl Workload for Mplayer {
+    fn name(&self) -> &'static str {
+        "mplayer"
+    }
+
+    fn build(&self, seed: u64) -> Trace {
+        let mut rng = seeded_rng(split_seed(seed, 0x4455));
+        let mut b = TraceBuilder::new(self.name(), MPLAYER_INODE_BASE);
+        let sizes = partition_sizes(&mut rng, self.support_bytes, self.support_files, 512);
+        let support: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.add_file(format!("mplayer/support_{i}"), Bytes(s)))
+            .collect();
+        let movie = b.add_file("movies/feature.avi", Bytes(self.movie_bytes));
+
+        // Startup burst: read config/codecs/fonts back to back.
+        for &f in &support {
+            b.read_file(MPLAYER_PID, f, Bytes::kib(32));
+        }
+        b.think(Dur::from_millis(900)); // decoder init
+
+        // Paced streaming of the movie.
+        let interval = self.refill_interval();
+        let mut off = 0;
+        let start = b.now();
+        while off < self.movie_bytes {
+            if let Some(limit) = self.play_limit {
+                if b.now().saturating_since(start) >= limit {
+                    break;
+                }
+            }
+            let n = self.chunk.get().min(self.movie_bytes - off);
+            b.read(MPLAYER_PID, movie, off, Bytes(n));
+            off += n;
+            b.think(interval + Dur::from_micros(rng.gen_range(0..5_000)));
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_matches_table3() {
+        let t = Mplayer::default().build(1);
+        assert_eq!(t.files.len(), 121);
+        let mb = t.files.total_size().get() as f64 / 1e6;
+        assert!((mb - 136.3).abs() < 1.0, "{mb} MB");
+    }
+
+    #[test]
+    fn streaming_is_paced_not_bursty() {
+        let t = Mplayer::default().build(2);
+        let interval = Mplayer::default().refill_interval();
+        // 128 KiB at 445 kbit/s ≈ 2.36 s between refills (2007-era MPEG4).
+        assert!((interval.as_secs_f64() - 2.356).abs() < 0.01);
+        // After the startup burst, gaps sit near the refill interval:
+        // large enough to end a burst, far too short to spin the disk down.
+        // The movie file is the last inode handed out; find its first read.
+        let movie = t.files.iter().map(|f| f.id).max().unwrap();
+        let stream_start = t.records.iter().position(|r| r.file == movie).unwrap();
+        let stream_gaps: Vec<Dur> = t.records[stream_start..]
+            .windows(2)
+            .map(|w| w[1].ts.saturating_since(w[0].end()))
+            .collect();
+        assert!(!stream_gaps.is_empty());
+        for gap in &stream_gaps {
+            assert!(*gap < Dur::from_secs(5), "gap {gap}");
+            assert!(*gap > Dur::from_millis(20), "gap {gap} not sparse");
+        }
+    }
+
+    #[test]
+    fn play_limit_truncates_movie() {
+        let m = Mplayer { play_limit: Some(Dur::from_secs(60)), ..Mplayer::default() };
+        let t = m.build(3);
+        // ~60 s at 55 KB/s ≈ 3.5 MB of movie + startup; far below full size.
+        let read = t.stats().read_bytes.get();
+        assert!(read < 30_000_000, "read {read} bytes, limit ignored");
+    }
+
+    #[test]
+    fn startup_burst_then_stream() {
+        let t = Mplayer::default().build(4);
+        // First ~support_files reads happen within a second of each other.
+        let first = t.records.first().unwrap().ts;
+        let startup_end = t.records[119].ts;
+        assert!(startup_end.saturating_since(first) < Dur::from_secs(30));
+    }
+}

@@ -1,0 +1,186 @@
+//! `Thunderbird` — "an email client" (Table 3: 283 files, 188.1 MB).
+//!
+//! §3.3.3: *"It first reads several emails one after another with
+//! considerable think time in between, and then quickly searches the
+//! entire email files to locate user-specified emails."* The mail store
+//! is *"several large email files"* (mbox format); the small initial
+//! reads are energy-hostile for the disk, while the search phase is one
+//! huge sequential burst that favours disk bandwidth.
+
+use super::{builder::TraceBuilder, partition_sizes, Workload};
+use crate::model::Trace;
+use ff_base::{seeded_rng, split_seed, Bytes, Dur};
+use rand::Rng;
+
+/// Generator for the email-client workload.
+#[derive(Debug, Clone)]
+pub struct Thunderbird {
+    /// Number of large mbox files holding the mail.
+    pub mboxes: usize,
+    /// Total size of the mbox store.
+    pub mbox_bytes: u64,
+    /// Small support files (prefs, indices, address book…).
+    pub support_files: usize,
+    /// Total size of the support files.
+    pub support_bytes: u64,
+    /// Emails the user reads before searching.
+    pub emails_read: usize,
+    /// Size range of one displayed email.
+    pub email_size: (u64, u64),
+    /// Reading think time between emails (min, max).
+    pub read_think: (Dur, Dur),
+}
+
+impl Default for Thunderbird {
+    fn default() -> Self {
+        Thunderbird {
+            mboxes: 8,
+            mbox_bytes: 180_000_000,
+            support_files: 275,
+            support_bytes: 8_100_000,
+            emails_read: 30,
+            email_size: (20_000, 90_000),
+            read_think: (Dur::from_secs(8), Dur::from_secs(20)),
+        }
+    }
+}
+
+/// Inode namespace base for Thunderbird files.
+pub const TBIRD_INODE_BASE: u64 = 50_000;
+/// Pid of the Thunderbird process.
+pub const TBIRD_PID: u32 = 500;
+
+impl Workload for Thunderbird {
+    fn name(&self) -> &'static str {
+        "thunderbird"
+    }
+
+    fn build(&self, seed: u64) -> Trace {
+        let mut rng = seeded_rng(split_seed(seed, 0x7b1d));
+        let mut b = TraceBuilder::new(self.name(), TBIRD_INODE_BASE);
+        let mbox_sizes = partition_sizes(&mut rng, self.mbox_bytes, self.mboxes, 1 << 20);
+        let mboxes: Vec<_> = mbox_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.add_file(format!("mail/folder_{i}.mbox"), Bytes(s)))
+            .collect();
+        let sup_sizes =
+            partition_sizes(&mut rng, self.support_bytes, self.support_files, 512);
+        let support: Vec<_> = sup_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.add_file(format!("profile/pref_{i}"), Bytes(s)))
+            .collect();
+
+        // Startup: read prefs and folder indices (small burst).
+        for &f in support.iter().take(40) {
+            b.read_file(TBIRD_PID, f, Bytes::kib(32));
+        }
+        b.think(Dur::from_secs(3));
+
+        // Phase 1: read emails with considerable think time.
+        for i in 0..self.emails_read {
+            let mbox = mboxes[i % mboxes.len()];
+            let size = b.file_size(mbox).get();
+            let len = rng.gen_range(self.email_size.0..=self.email_size.1);
+            let max_start = size.saturating_sub(len);
+            // Emails live at 4 KiB-aligned offsets — close enough to mbox
+            // reality and keeps page-cache behaviour clean.
+            let offset = (rng.gen_range(0..=max_start) / 4096) * 4096;
+            b.read_range(TBIRD_PID, mbox, offset, Bytes(len), Bytes::kib(16), Dur::ZERO);
+            let lo = self.read_think.0.as_micros();
+            let hi = self.read_think.1.as_micros();
+            b.think(Dur::from_micros(rng.gen_range(lo..=hi)));
+        }
+
+        // Phase 2: full-text search across the whole store (one big burst).
+        for &mbox in &mboxes {
+            b.read_file(TBIRD_PID, mbox, Bytes::kib(64));
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_matches_table3() {
+        let t = Thunderbird::default().build(1);
+        assert_eq!(t.files.len(), 283);
+        let mb = t.files.total_size().get() as f64 / 1e6;
+        assert!((mb - 188.1).abs() < 1.0, "{mb} MB");
+    }
+
+    #[test]
+    fn two_phase_structure() {
+        let cfg = Thunderbird::default();
+        let t = cfg.build(2);
+        let threshold = Dur::from_secs(5);
+        // Long think pauses appear only in the email-reading phase.
+        let long_gaps: Vec<usize> = t
+            .records
+            .windows(2)
+            .enumerate()
+            .filter(|(_, w)| w[1].ts.saturating_since(w[0].end()) >= threshold)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(long_gaps.len(), cfg.emails_read, "one pause per email");
+        // And the search phase (after the last pause) reads the bulk of
+        // the data in one dense run.
+        let last_pause = *long_gaps.last().unwrap();
+        let search_bytes: u64 =
+            t.records[last_pause + 1..].iter().map(|r| r.len.get()).sum();
+        assert!(
+            search_bytes as f64 > 0.9 * cfg.mbox_bytes as f64,
+            "search re-reads the whole store"
+        );
+    }
+
+    #[test]
+    fn search_phase_is_one_burst() {
+        let t = Thunderbird::default().build(3);
+        // After the final long pause, every gap is below the burst
+        // threshold.
+        let mut last_long = 0;
+        for (i, w) in t.records.windows(2).enumerate() {
+            if w[1].ts.saturating_since(w[0].end()) >= Dur::from_secs(5) {
+                last_long = i + 1;
+            }
+        }
+        for w in t.records[last_long..].windows(2) {
+            let gap = w[1].ts.saturating_since(w[0].end());
+            assert!(gap < Dur::from_millis(20), "gap {gap} splits the search burst");
+        }
+    }
+
+    #[test]
+    fn email_reads_are_small() {
+        let cfg = Thunderbird::default();
+        let t = cfg.build(4);
+        // Bytes read before the search phase ≈ startup + emails — a small
+        // slice of the footprint (this is why Disk-only wastes energy).
+        let mut phase1 = 0u64;
+        let mut seen_long_gap_then_data = 0u64;
+        let mut after_last_pause = false;
+        let mut last_end = ff_base::SimTime::ZERO;
+        for r in &t.records {
+            if r.ts.saturating_since(last_end) >= Dur::from_secs(5) {
+                after_last_pause = true;
+                seen_long_gap_then_data = 0;
+            }
+            if after_last_pause {
+                seen_long_gap_then_data += r.len.get();
+            } else {
+                phase1 += r.len.get();
+            }
+            last_end = r.end();
+        }
+        assert!(phase1 + seen_long_gap_then_data > 0);
+        assert!(
+            phase1 < 20_000_000,
+            "interactive phase should be small, got {phase1} bytes"
+        );
+    }
+}

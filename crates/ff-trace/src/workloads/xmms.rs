@@ -1,0 +1,142 @@
+//! `xmms` — "a mp3 player" (Table 3: 116 files, 47.9 MB).
+//!
+//! §3.3.4 uses xmms as the *forced-spin-up* agitator: it keeps issuing
+//! requests at intervals **shorter than the disk spin-down timeout**
+//! (20 s), so a disk servicing xmms never spins down. The decoder pulls a
+//! buffer's worth of data every few seconds — a classic intermittent,
+//! low-rate stream.
+
+use super::{builder::TraceBuilder, partition_sizes, Workload};
+use crate::model::Trace;
+use ff_base::{seeded_rng, split_seed, Bytes, Dur};
+use rand::Rng;
+
+/// Generator for the MP3-playback workload.
+#[derive(Debug, Clone)]
+pub struct Xmms {
+    /// Number of MP3 files in the library (Table 3: 116).
+    pub files: usize,
+    /// Library footprint (Table 3: 47.9 MB).
+    pub total_bytes: u64,
+    /// Bytes pulled per decoder refill.
+    pub chunk: Bytes,
+    /// MP3 bit rate in bits/second (drives the refill interval:
+    /// interval = chunk / (bitrate/8)).
+    pub bitrate: u64,
+    /// Stop after this much played time (`None` = play the whole library).
+    pub play_limit: Option<Dur>,
+}
+
+impl Default for Xmms {
+    fn default() -> Self {
+        Xmms {
+            files: 116,
+            total_bytes: 47_900_000,
+            chunk: Bytes::kib(64),
+            bitrate: 128_000,
+            play_limit: None,
+        }
+    }
+}
+
+/// Inode namespace base for xmms files.
+pub const XMMS_INODE_BASE: u64 = 30_000;
+/// Pid of the xmms process.
+pub const XMMS_PID: u32 = 300;
+
+impl Xmms {
+    /// Refill interval implied by chunk size and bit rate.
+    pub fn refill_interval(&self) -> Dur {
+        Dur::from_secs_f64(self.chunk.get() as f64 / (self.bitrate as f64 / 8.0))
+    }
+}
+
+impl Workload for Xmms {
+    fn name(&self) -> &'static str {
+        "xmms"
+    }
+
+    fn build(&self, seed: u64) -> Trace {
+        let mut rng = seeded_rng(split_seed(seed, 0x3333));
+        let mut b = TraceBuilder::new(self.name(), XMMS_INODE_BASE);
+        let sizes = partition_sizes(&mut rng, self.total_bytes, self.files, 64 * 1024);
+        let songs: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.add_file(format!("music/track_{i:03}.mp3"), Bytes(s)))
+            .collect();
+        let interval = self.refill_interval();
+        'play: for &song in &songs {
+            let size = b.file_size(song).get();
+            let mut off = 0;
+            while off < size {
+                if let Some(limit) = self.play_limit {
+                    if b.now().saturating_since(ff_base::SimTime::ZERO) >= limit {
+                        break 'play;
+                    }
+                }
+                let n = self.chunk.get().min(size - off);
+                b.read(XMMS_PID, song, off, Bytes(n));
+                off += n;
+                // Decoder consumes the buffer in real time.
+                b.think(interval + Dur::from_micros(rng.gen_range(0..20_000)));
+            }
+        }
+        b.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refill_interval_matches_bitrate() {
+        // 64 KiB at 128 kbit/s = 65536 / 16000 B/s = 4.096 s.
+        let x = Xmms::default();
+        let i = x.refill_interval();
+        assert!((i.as_secs_f64() - 4.096).abs() < 0.001, "{i}");
+    }
+
+    #[test]
+    fn requests_are_spaced_below_disk_timeout() {
+        let x = Xmms { play_limit: Some(Dur::from_secs(120)), ..Xmms::default() };
+        let t = x.build(1);
+        // Gaps keep the disk alive (< 20 s) yet are long enough to break
+        // I/O bursts (> 20 ms).
+        for w in t.records.windows(2) {
+            let gap = w[1].ts.saturating_since(w[0].end());
+            assert!(gap < Dur::from_secs(20), "gap {gap} would let the disk spin down");
+            assert!(gap > Dur::from_millis(20), "gap {gap} merges refills into one burst");
+        }
+    }
+
+    #[test]
+    fn play_limit_bounds_the_run() {
+        let x = Xmms { play_limit: Some(Dur::from_secs(60)), ..Xmms::default() };
+        let t = x.build(2);
+        let span = t.stats().span;
+        assert!(span >= Dur::from_secs(55) && span < Dur::from_secs(75), "span {span}");
+    }
+
+    #[test]
+    fn full_library_footprint_matches_table3() {
+        let t = Xmms::default().build(3);
+        assert_eq!(t.files.len(), 116);
+        let mb = t.files.total_size().get() as f64 / 1e6;
+        assert!((mb - 47.9).abs() < 1.0, "{mb} MB");
+    }
+
+    #[test]
+    fn songs_are_read_sequentially() {
+        let x = Xmms { files: 2, total_bytes: 400_000, play_limit: None, ..Xmms::default() };
+        let t = x.build(4);
+        // Within one file, offsets must be non-decreasing.
+        let mut last: std::collections::HashMap<u64, u64> = Default::default();
+        for r in &t.records {
+            let e = last.entry(r.file.0).or_insert(0);
+            assert_eq!(r.offset, *e, "stream must be strictly sequential");
+            *e = r.end_offset();
+        }
+    }
+}

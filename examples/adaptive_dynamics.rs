@@ -1,0 +1,78 @@
+//! The two §2.3 adaptation mechanisms in action:
+//!
+//! 1. **Free riding (§3.3.4)** — xmms keeps the disk spinning (its MP3s
+//!    exist only locally), so adaptive FlexFetch rides the disk instead
+//!    of paying for the wireless link; FlexFetch-static cannot.
+//! 2. **Invalid profile (§3.3.5)** — the recorded Acroread profile says
+//!    "small sparse reads" but the actual run is bursty; the stage-end
+//!    audit corrects the wrong initial decision after one stage.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_dynamics
+//! ```
+
+use flexfetch::base::Dur;
+use flexfetch::prelude::*;
+use flexfetch::trace::FileId;
+
+fn forced_spinup() {
+    println!("== forced spin-up: grep+make || xmms (§3.3.4) ==");
+    let gm = Grep::default()
+        .build(42)
+        .concat(&Make::default().build(42), Dur::from_secs(2))
+        .unwrap();
+    let span = gm.stats().span + Dur::from_secs(30);
+    let xmms = Xmms { play_limit: Some(span), ..Default::default() }.build(42);
+    let pinned: Vec<FileId> = xmms.files.iter().map(|f| f.id).collect();
+    let trace = gm.merge(&xmms).unwrap();
+
+    let prior = Grep::default()
+        .build(43)
+        .concat(&Make::default().build(43), Dur::from_secs(2))
+        .unwrap();
+    let profile = Profiler::standard().profile(&prior);
+
+    let cfg = || SimConfig::default().with_disk_only_files(pinned.iter().copied());
+    let adaptive = Simulation::new(cfg(), &trace)
+        .policy(PolicyKind::flexfetch(profile.clone()))
+        .run()
+        .unwrap();
+    let static_ = Simulation::new(cfg(), &trace)
+        .policy(PolicyKind::flexfetch_static(profile))
+        .run()
+        .unwrap();
+    println!("  FlexFetch         {}", adaptive.total_energy());
+    println!("  FlexFetch-static  {}", static_.total_energy());
+    let saving = static_.total_energy().relative_saving(adaptive.total_energy());
+    println!("  adaptation saves  {:.0}% (free-rides the xmms-powered disk)\n", saving * 100.0);
+}
+
+fn invalid_profile() {
+    println!("== invalid profile: Acroread (§3.3.5) ==");
+    // Profile recorded over 2 MB PDFs every 25 s; actual run searches
+    // 20 MB PDFs every 10 s.
+    let trace = Acroread::large_search().build(42);
+    let stale = Profiler::standard().profile(&Acroread::small_profile().build(43));
+
+    let adaptive = Simulation::new(SimConfig::default(), &trace)
+        .policy(PolicyKind::flexfetch(stale.clone()))
+        .run()
+        .unwrap();
+    let static_ = Simulation::new(SimConfig::default(), &trace)
+        .policy(PolicyKind::flexfetch_static(stale))
+        .run()
+        .unwrap();
+
+    println!("  FlexFetch         {}", adaptive.total_energy());
+    println!("  FlexFetch-static  {}", static_.total_energy());
+    println!("  decision timeline (adaptive):");
+    for (t, s, why) in &adaptive.decisions {
+        println!("    t={:<10} -> {:<5} ({why})", t.to_string(), s.label());
+    }
+    println!("  the stage-end audit abandons the stale profile after one 40 s stage");
+}
+
+fn main() {
+    forced_spinup();
+    invalid_profile();
+}

@@ -1,0 +1,61 @@
+//! Quickstart: generate a workload, record a profile, and compare
+//! FlexFetch against the baselines on one configuration.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use flexfetch::prelude::*;
+
+fn main() {
+    // 1. Generate the paper's `grep` workload (Table 3: 1332 files,
+    //    50.4 MB) — deterministic for a given seed.
+    let trace = Grep::default().build(42);
+    let stats = trace.stats();
+    println!(
+        "workload: {} — {} files, {:.1} MB, {} syscalls\n",
+        trace.name,
+        stats.files,
+        stats.footprint.as_mib_f64(),
+        stats.records
+    );
+
+    // 2. Record the profile FlexFetch needs from a *previous* run of the
+    //    same program (different seed = different execution).
+    let profile = Profiler::standard().profile(&Grep::default().build(41));
+    println!(
+        "profile: {} bursts, {:.1} MB, span {}\n",
+        profile.len(),
+        profile.total_bytes().as_mib_f64(),
+        profile.span()
+    );
+
+    // 3. Simulate the trace under each policy and compare total energy.
+    let policies = [
+        PolicyKind::flexfetch(profile.clone()),
+        PolicyKind::BlueFs,
+        PolicyKind::DiskOnly,
+        PolicyKind::WnicOnly,
+    ];
+    let battery = flexfetch::sim::Battery::laptop_2007();
+    println!(
+        "{:<16} {:>10} {:>10} {:>14}",
+        "policy", "I/O energy", "exec time", "battery drain"
+    );
+    for kind in policies {
+        let report = Simulation::new(SimConfig::default(), &trace)
+            .policy(kind)
+            .run()
+            .expect("generated traces are valid");
+        println!(
+            "{:<16} {:>10} {:>9.1}s {:>13.3}%",
+            report.policy,
+            report.total_energy().to_string(),
+            report.exec_time.as_secs_f64(),
+            battery.task_drain_pct(&report)
+        );
+    }
+    println!("
+(battery drain = I/O energy + 8 W platform draw over the task,");
+    println!(" as a share of a 50 Wh pack — slow policies pay for their time)");
+}

@@ -1,0 +1,60 @@
+//! Trace & profile persistence: dump a generated workload in the strace
+//! text format, reload it, extract its burst profile, and round-trip the
+//! profile through JSON — the artefacts a real FlexFetch deployment
+//! would keep on disk between runs (§2.1, §2.3.1).
+//!
+//! ```sh
+//! cargo run --release --example trace_tools
+//! ```
+
+use flexfetch::prelude::*;
+use flexfetch::trace::strace;
+
+fn main() {
+    let dir = std::env::temp_dir().join("flexfetch-demo");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Generate and persist a trace in the strace-like text format.
+    let trace = Xmms { play_limit: Some(flexfetch::base::Dur::from_secs(120)), ..Default::default() }
+        .build(7);
+    let trace_path = dir.join("xmms.trace");
+    std::fs::write(&trace_path, strace::to_string(&trace)).expect("write trace");
+    println!("wrote {} ({} records)", trace_path.display(), trace.len());
+
+    // Reload and verify it is bit-identical.
+    let text = std::fs::read_to_string(&trace_path).expect("read back");
+    let reloaded = strace::from_str(&text).expect("parse");
+    assert_eq!(trace, reloaded, "strace round trip must be lossless");
+    println!("reloaded losslessly");
+
+    // Extract the profile and persist it as JSON.
+    let profile = Profiler::standard().profile(&reloaded);
+    let profile_path = dir.join("xmms.profile.json");
+    profile.save(&profile_path).expect("save profile");
+    let loaded = Profile::load(&profile_path).expect("load profile");
+    assert_eq!(profile, loaded);
+    println!(
+        "profile: {} bursts / {:.1} MB -> {}",
+        loaded.len(),
+        loaded.total_bytes().as_mib_f64(),
+        profile_path.display()
+    );
+
+    // Show the first few bursts the way §2.1 describes them.
+    println!("\nfirst bursts (merged requests ≤128 KiB, think gaps ≥20 ms split):");
+    for (i, pb) in loaded.bursts.iter().take(5).enumerate() {
+        println!(
+            "  burst {i}: {} requests, {}, think {} after",
+            pb.burst.len(),
+            pb.burst.bytes(),
+            pb.gap_after
+        );
+    }
+
+    // And drive a simulation straight from the reloaded artefacts.
+    let report = Simulation::new(SimConfig::default(), &reloaded)
+        .policy(PolicyKind::flexfetch(loaded))
+        .run()
+        .unwrap();
+    println!("\nsimulated from reloaded artefacts: {}", report.summary());
+}

@@ -1,0 +1,54 @@
+//! # FlexFetch — history-aware I/O data-source selection for mobile energy saving
+//!
+//! A full reproduction of *"FlexFetch: A History-Aware Scheme for I/O
+//! Energy Saving in Mobile Computing"* (Chen, Jiang, Shi, Yu — ICPP 2007)
+//! as a Rust workspace. This facade crate re-exports every layer:
+//!
+//! * [`base`] — units: simulation time, energy, sizes, rates.
+//! * [`trace`] — system-call trace model + the six Table 3 workload
+//!   generators.
+//! * [`device`] — Hitachi DK23DA disk and Cisco Aironet 350 WNIC power
+//!   models (Tables 1 & 2).
+//! * [`cache`] — Linux-style buffer cache substrate (2Q, readahead,
+//!   C-SCAN, write-back, laptop mode).
+//! * [`profile`] — I/O bursts, evaluation stages, profiles, and the
+//!   execution-time/energy estimator.
+//! * [`policy`] — FlexFetch, FlexFetch-static, BlueFS, Disk-only,
+//!   WNIC-only.
+//! * [`sim`] — the trace-driven discrete-event simulator and its reports.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use flexfetch::prelude::*;
+//!
+//! // Generate the paper's grep workload and simulate it under FlexFetch.
+//! let trace = Grep::default().build(42);
+//! let profile = Profiler::standard().profile(&trace);
+//! let cfg = SimConfig::default();
+//! let report = Simulation::new(cfg.clone(), &trace)
+//!     .policy(PolicyKind::flexfetch(profile))
+//!     .run()
+//!     .unwrap();
+//! assert!(report.total_energy().get() > 0.0);
+//! ```
+
+pub use ff_base as base;
+pub use ff_cache as cache;
+pub use ff_device as device;
+pub use ff_policy as policy;
+pub use ff_profile as profile;
+pub use ff_sim as sim;
+pub use ff_trace as trace;
+
+/// One-stop imports for examples and applications.
+pub mod prelude {
+    pub use ff_base::{Bytes, BytesPerSec, Dur, Joules, SimTime, Watts};
+    pub use ff_device::{DiskParams, WnicParams};
+    pub use ff_policy::PolicyKind;
+    pub use ff_profile::{Profile, Profiler};
+    pub use ff_sim::{SimConfig, SimReport, Simulation};
+    pub use ff_trace::{
+        Acroread, Grep, Make, Mplayer, Thunderbird, Trace, Workload, Xmms,
+    };
+}

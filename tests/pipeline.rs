@@ -1,0 +1,175 @@
+//! End-to-end pipeline tests: generation → persistence → profiling →
+//! simulation → recorded profile → next run, exercising the full stack
+//! the way a deployment would.
+
+use flexfetch::base::{Bytes, Dur};
+use flexfetch::prelude::*;
+use flexfetch::trace::strace;
+
+fn small_make() -> Make {
+    Make { units: 25, headers: 50, misc: 4, input_bytes: 2_500_000, ..Default::default() }
+}
+
+#[test]
+fn full_artefact_round_trip_drives_identical_simulation() {
+    let trace = small_make().build(11);
+
+    // Persist + reload the trace through the strace text format.
+    let text = strace::to_string(&trace);
+    let reloaded = strace::from_str(&text).unwrap();
+    assert_eq!(trace, reloaded);
+
+    // Persist + reload the profile through JSON.
+    let profile = Profiler::standard().profile(&small_make().build(12));
+    let json = profile.to_json();
+    let profile2 = Profile::from_json(&json).unwrap();
+    assert_eq!(profile, profile2);
+
+    // Simulations from originals and from reloaded artefacts agree
+    // bit-for-bit.
+    let a = Simulation::new(SimConfig::default(), &trace)
+        .policy(PolicyKind::flexfetch(profile))
+        .run()
+        .unwrap();
+    let b = Simulation::new(SimConfig::default(), &reloaded)
+        .policy(PolicyKind::flexfetch(profile2))
+        .run()
+        .unwrap();
+    assert_eq!(a.total_energy(), b.total_energy());
+    assert_eq!(a.exec_time, b.exec_time);
+    assert_eq!(a.disk_requests, b.disk_requests);
+}
+
+#[test]
+fn recorded_profile_feeds_the_next_run() {
+    let run1_trace = small_make().build(21);
+    // First-ever run: empty profile.
+    let run1 = Simulation::new(SimConfig::default(), &run1_trace)
+        .policy(PolicyKind::flexfetch(Profile::empty("make")))
+        .run()
+        .unwrap();
+    let recorded = run1.recorded_profile.clone().expect("FlexFetch records a profile");
+    assert!(!recorded.is_empty());
+    // The recorded profile covers the run's I/O (cache hits included —
+    // §2.1 records system calls, not device traffic).
+    assert_eq!(recorded.total_bytes(), run1_trace.total_bytes());
+
+    // Second run of the "same program": the recorded profile now steers.
+    let run2_trace = small_make().build(22);
+    let run2 = Simulation::new(SimConfig::default(), &run2_trace)
+        .policy(PolicyKind::flexfetch(recorded))
+        .run()
+        .unwrap();
+    // With history, the second run must not be substantially worse than
+    // the blind first run (scaled per-second — traces differ slightly).
+    let rate1 = run1.total_energy().get() / run1.exec_time.as_secs_f64();
+    let rate2 = run2.total_energy().get() / run2.exec_time.as_secs_f64();
+    assert!(
+        rate2 <= rate1 * 1.10,
+        "history must not hurt: {rate1:.3} W (blind) vs {rate2:.3} W (informed)"
+    );
+}
+
+#[test]
+fn concurrent_programs_merge_profiles() {
+    // §2.3.3: concurrently running programs form an aggregate profile.
+    let a = Profiler::standard().profile(&small_make().build(31));
+    let xt = Xmms { play_limit: Some(Dur::from_secs(60)), ..Default::default() }.build(31);
+    let b = Profiler::standard().profile(&xt);
+    let merged = a.merge_concurrent(&b);
+    assert_eq!(merged.len(), a.len() + b.len());
+    assert_eq!(merged.total_bytes(), a.total_bytes() + b.total_bytes());
+    // Bursts stay time-ordered after the merge.
+    for w in merged.bursts.windows(2) {
+        assert!(w[0].burst.start <= w[1].burst.start);
+    }
+}
+
+#[test]
+fn concurrent_profiled_programs_share_flexfetch() {
+    // §2.3.3: "When multiple programs concurrently issue I/O requests,
+    // FlexFetch merges these programs' profiles and forms evaluation
+    // stages on the aggregate profile." Two profiled programs run
+    // concurrently; FlexFetch drives both from the merged profile.
+    let make = small_make();
+    let xmms = Xmms { play_limit: Some(Dur::from_secs(90)), ..Default::default() };
+
+    let trace = make.build(61).merge(&xmms.build(61)).unwrap();
+    let p_make = Profiler::standard().profile(&make.build(62));
+    let p_xmms = Profiler::standard().profile(&xmms.build(62));
+    let aggregate = p_make.merge_concurrent(&p_xmms);
+
+    let merged_run = Simulation::new(SimConfig::default(), &trace)
+        .policy(PolicyKind::flexfetch(aggregate))
+        .run()
+        .unwrap();
+    assert_eq!(merged_run.app_requests, trace.len() as u64);
+    assert!(merged_run.total_energy().get() > 0.0);
+
+    // The aggregate profile must not be worse than flying blind.
+    let blind = Simulation::new(SimConfig::default(), &trace)
+        .policy(PolicyKind::flexfetch(Profile::empty("both")))
+        .run()
+        .unwrap();
+    assert!(
+        merged_run.total_energy().get() <= blind.total_energy().get() * 1.05,
+        "aggregate profile {} vs blind {}",
+        merged_run.total_energy(),
+        blind.total_energy()
+    );
+}
+
+#[test]
+fn stage_boundaries_report_progress() {
+    let xt = Xmms { play_limit: Some(Dur::from_secs(200)), ..Default::default() }.build(5);
+    let report = Simulation::new(SimConfig::default(), &xt)
+        .policy(PolicyKind::flexfetch(Profile::empty("xmms")))
+        .run()
+        .unwrap();
+    // ~200 s with 40 s stages → ≥4 boundaries.
+    assert!(report.stages >= 4, "stages {}", report.stages);
+    assert!(report.exec_time >= Dur::from_secs(190));
+}
+
+#[test]
+fn energy_balance_across_policies_is_sane() {
+    // Whatever the policy, total energy must cover at least the cheapest
+    // conceivable floor (both devices at their lowest power for the whole
+    // run) and no more than both devices red-lined.
+    let trace = small_make().build(41);
+    for kind in [
+        PolicyKind::DiskOnly,
+        PolicyKind::WnicOnly,
+        PolicyKind::BlueFs,
+        PolicyKind::flexfetch(Profile::empty("make")),
+    ] {
+        let r = Simulation::new(SimConfig::default(), &trace).policy(kind).run().unwrap();
+        let secs = r.exec_time.as_secs_f64();
+        let floor = (0.15 + 0.39) * secs * 0.9;
+        let ceiling = (2.0 + 3.69) * secs + 1000.0;
+        let e = r.total_energy().get();
+        assert!(e > floor, "{}: {e} below physical floor {floor}", r.policy);
+        assert!(e < ceiling, "{}: {e} above physical ceiling {ceiling}", r.policy);
+        assert!(r.exec_time >= Dur::from_secs(30), "{}: replay too fast", r.policy);
+    }
+}
+
+#[test]
+fn cache_effects_shrink_device_traffic_not_profile() {
+    // Re-reading the same files: profile sees all syscalls, devices see
+    // only the cold pass.
+    let grep = Grep { files: 25, total_bytes: 1_000_000, ..Default::default() };
+    let once = grep.build(51);
+    let twice = once.concat(&grep.build(51), Dur::from_secs(1)).unwrap();
+    let r = Simulation::new(SimConfig::default(), &twice)
+        .policy(PolicyKind::flexfetch(Profile::empty("grep")))
+        .run()
+        .unwrap();
+    let profile = r.recorded_profile.unwrap();
+    assert_eq!(profile.total_bytes(), Bytes(2_000_000), "profile is device-independent");
+    let fetched = r.disk_bytes + r.wnic_bytes;
+    assert!(
+        fetched.get() < 1_700_000,
+        "cache must absorb most of the second pass, fetched {fetched}"
+    );
+}
