@@ -62,7 +62,10 @@ impl LogNormal {
     /// Construct from the desired *median* value of X (`exp(mu)`).
     pub fn with_median(median: f64, sigma: f64) -> Self {
         debug_assert!(median > 0.0);
-        LogNormal { mu: median.ln(), sigma }
+        LogNormal {
+            mu: median.ln(),
+            sigma,
+        }
     }
 }
 
@@ -185,7 +188,10 @@ mod tests {
 
     #[test]
     fn pareto_minimum_and_tail() {
-        let d = Pareto { xm: 10.0, alpha: 2.0 };
+        let d = Pareto {
+            xm: 10.0,
+            alpha: 2.0,
+        };
         let mut rng = seeded_rng(4);
         let xs: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng)).collect();
         assert!(xs.iter().all(|&x| x >= 10.0));

@@ -1,0 +1,549 @@
+//! Minimal JSON document model, parser and pretty-printer.
+//!
+//! The workspace persists exactly one artefact as JSON — the
+//! per-application [`Profile`](../../ff_profile/struct.Profile.html) —
+//! so a full serde stack is unnecessary (and unavailable in the offline
+//! build environment). This module provides:
+//!
+//! * [`Value`] — an ordered document tree (object keys keep insertion
+//!   order, so output is stable across runs),
+//! * [`Value::parse`] — a recursive-descent parser that reports the
+//!   1-based line of the first error via [`Error::Parse`],
+//! * [`Value::to_pretty`] — a 2-space-indented printer whose output
+//!   shape matches what `serde_json::to_string_pretty` produced for the
+//!   same documents, keeping previously saved profiles loadable.
+//!
+//! Numbers keep integer/float identity: integers that fit `u64`/`i64`
+//! stay exact (µs timestamps and byte counts must not round-trip
+//! through `f64`).
+
+use crate::{Error, Result};
+
+/// A parsed JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Non-negative integer (the common case: timestamps, sizes).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Any number with a fraction or exponent.
+    Float(f64),
+    /// String (unescaped).
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object node.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Integer value, if this node is a `u64`-representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(n) => Some(n),
+            Value::Int(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(n) => Some(n as f64),
+            Value::Int(n) => Some(n as f64),
+            Value::Float(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this node is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this node is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parse a JSON document. Errors carry the 1-based line number.
+    pub fn parse(text: &str) -> Result<Value> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            line: 1,
+            depth: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    /// Pretty-print with 2-space indentation (serde_json style).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{}` on f64 prints the shortest representation that
+        // round-trips, same as serde_json.
+        let s = format!("{x}");
+        out.push_str(&s);
+        // Keep floats distinguishable from integers on re-parse.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\r' || b == b'\n' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<()> {
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            Some(b) => Err(self.err(format!(
+                "expected '{}', found '{}'",
+                want as char, b as char
+            ))),
+            None => Err(self.err(format!("expected '{}', found end of input", want as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("invalid literal (expected '{word}')")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("document nested too deeply"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(self.err(format!("unexpected character '{}'", b as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            self.depth -= 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key string"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            pairs.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                Some(b) => {
+                    return Err(self.err(format!("expected ',' or '}}', found '{}'", b as char)))
+                }
+                None => return Err(self.err("unterminated object")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Object(pairs))
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                Some(b) => {
+                    return Err(self.err(format!("expected ',' or ']', found '{}'", b as char)))
+                }
+                None => return Err(self.err("unterminated array")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(s),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{0008}'),
+                    Some(b'f') => s.push('\u{000c}'),
+                    Some(b'u') => s.push(self.unicode_escape()?),
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(b) => {
+                    // Re-assemble a multi-byte UTF-8 sequence; the input
+                    // came from a &str so it is valid by construction.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    for _ in 1..len {
+                        self.bump();
+                    }
+                    if let Ok(chunk) = std::str::from_utf8(&self.bytes[start..start + len]) {
+                        s.push_str(chunk);
+                    } else {
+                        return Err(self.err("invalid UTF-8 in string"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        // Surrogate pairs: profiles never contain them, but accept them
+        // rather than corrupting foreign documents.
+        if (0xD800..0xDC00).contains(&code) {
+            if self.bump() == Some(b'\\') && self.bump() == Some(b'u') {
+                let mut low = 0u32;
+                for _ in 0..4 {
+                    let b = self
+                        .bump()
+                        .ok_or_else(|| self.err("truncated \\u escape"))?;
+                    let digit = (b as char)
+                        .to_digit(16)
+                        .ok_or_else(|| self.err("invalid \\u escape"))?;
+                    low = low * 16 + digit;
+                }
+                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+                return Err(self.err("unpaired surrogate in \\u escape"));
+            }
+        }
+        char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.bump();
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => {
+                    self.bump();
+                }
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if negative {
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::Int(n));
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err(format!("invalid number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Value::parse("null").unwrap(), Value::Null);
+        assert_eq!(Value::parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(Value::parse(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(Value::parse("42").unwrap(), Value::UInt(42));
+        assert_eq!(Value::parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(Value::parse("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(Value::parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(Value::parse("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX;
+        let v = Value::parse(&big.to_string()).unwrap();
+        assert_eq!(v.as_u64(), Some(big));
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = Value::parse(r#"{"a": [1, {"b": "x"}], "c": null}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1]
+                .get("b")
+                .unwrap()
+                .as_str(),
+            Some("x")
+        );
+        assert_eq!(v.get("c"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = Value::Str("line1\nline2\t\"quoted\" \\ slash \u{1F600}".into());
+        let text = original.to_pretty();
+        assert_eq!(Value::parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn unicode_escape_forms() {
+        assert_eq!(Value::parse(r#""A""#).unwrap(), Value::Str("A".into()));
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            Value::parse(r#""😀""#).unwrap(),
+            Value::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn pretty_output_round_trips() {
+        let doc = Value::Object(vec![
+            ("app".into(), Value::Str("grep".into())),
+            (
+                "bursts".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("start".into(), Value::UInt(0)),
+                    ("gap".into(), Value::Float(1.5)),
+                ])]),
+            ),
+            ("empty_list".into(), Value::Array(vec![])),
+            ("empty_obj".into(), Value::Object(vec![])),
+        ]);
+        let text = doc.to_pretty();
+        assert_eq!(Value::parse(&text).unwrap(), doc);
+        // serde_json-style shape: 2-space indent, `": "` separators.
+        assert!(text.starts_with("{\n  \"app\": \"grep\""), "got: {text}");
+    }
+
+    #[test]
+    fn float_integers_keep_a_decimal_point() {
+        assert_eq!(Value::Float(2.0).to_pretty(), "2.0");
+        let back = Value::parse("2.0").unwrap();
+        assert_eq!(back, Value::Float(2.0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "{\n  \"a\": 1,\n  oops\n}";
+        match Value::parse(text) {
+            Err(Error::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(Value::parse("{not json").is_err());
+        assert!(Value::parse("[1, 2").is_err());
+        assert!(Value::parse("\"open").is_err());
+        assert!(Value::parse("1 2").is_err());
+    }
+
+    #[test]
+    fn depth_limit_rejects_bombs() {
+        let bomb = "[".repeat(500) + &"]".repeat(500);
+        assert!(Value::parse(&bomb).is_err());
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod dist;
 pub mod energy;
+pub mod json;
 pub mod rate;
 pub mod rng;
 pub mod size;
@@ -83,7 +84,10 @@ impl std::fmt::Display for Error {
             Error::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             Error::UnknownFile(inode) => write!(f, "unknown file inode {inode}"),
             Error::OutOfBounds { inode, end, size } => {
-                write!(f, "access beyond EOF on inode {inode}: end {end} > size {size}")
+                write!(
+                    f,
+                    "access beyond EOF on inode {inode}: end {end} > size {size}"
+                )
             }
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),

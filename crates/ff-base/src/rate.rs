@@ -6,12 +6,10 @@
 
 use crate::size::Bytes;
 use crate::time::Dur;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A transfer rate in bytes per second.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct BytesPerSec(pub f64);
 
 impl BytesPerSec {

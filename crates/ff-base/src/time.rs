@@ -12,19 +12,16 @@
 //! `SimTime ± Dur -> SimTime`, `SimTime - SimTime -> Dur`,
 //! `Dur ± Dur -> Dur`, `Dur × k -> Dur`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An absolute instant on the simulation clock, in microseconds since the
 /// start of the simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Dur(pub u64);
 
 impl SimTime {
@@ -287,7 +284,10 @@ mod tests {
         let d = Dur::from_millis(10) * 3;
         assert_eq!(d, Dur::from_millis(30));
         assert_eq!(d / 2, Dur::from_millis(15));
-        assert_eq!(Dur::from_secs(2).saturating_sub(Dur::from_secs(5)), Dur::ZERO);
+        assert_eq!(
+            Dur::from_secs(2).saturating_sub(Dur::from_secs(5)),
+            Dur::ZERO
+        );
     }
 
     #[test]

@@ -10,13 +10,25 @@ fn bench_twoq(c: &mut Criterion) {
         let mut q = TwoQ::new(4096);
         let mut ev = Vec::new();
         for i in 0..1000u64 {
-            q.touch(PageKey { file: FileId(1), index: i }, &mut ev);
+            q.touch(
+                PageKey {
+                    file: FileId(1),
+                    index: i,
+                },
+                &mut ev,
+            );
         }
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 1000;
             let mut ev = Vec::new();
-            black_box(q.touch(PageKey { file: FileId(1), index: i }, &mut ev))
+            black_box(q.touch(
+                PageKey {
+                    file: FileId(1),
+                    index: i,
+                },
+                &mut ev,
+            ))
         })
     });
     c.bench_function("twoq/scan_with_evictions", |b| {
@@ -25,7 +37,13 @@ fn bench_twoq(c: &mut Criterion) {
             |mut q| {
                 let mut ev = Vec::new();
                 for i in 0..10_000u64 {
-                    q.touch(PageKey { file: FileId(2), index: i }, &mut ev);
+                    q.touch(
+                        PageKey {
+                            file: FileId(2),
+                            index: i,
+                        },
+                        &mut ev,
+                    );
                 }
                 black_box(ev.len())
             },
@@ -42,13 +60,8 @@ fn bench_buffer_cache(c: &mut Criterion) {
             |mut cache| {
                 let mut fetched = 0u64;
                 for i in 0..512u64 {
-                    let out = cache.read(
-                        SimTime::ZERO,
-                        FileId(3),
-                        i * 65_536,
-                        Bytes::kib(64),
-                        size,
-                    );
+                    let out =
+                        cache.read(SimTime::ZERO, FileId(3), i * 65_536, Bytes::kib(64), size);
                     fetched += out.fetch_pages();
                 }
                 black_box(fetched)

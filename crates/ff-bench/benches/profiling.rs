@@ -30,9 +30,10 @@ fn bench_estimator(c: &mut Criterion) {
     c.bench_function("profile/estimate_stage_wnic", |b| {
         let est = Estimator::new(&layout);
         b.iter(|| {
-            black_box(
-                est.wnic_cost(&stage.bursts, WnicModel::new(WnicParams::cisco_aironet350())),
-            )
+            black_box(est.wnic_cost(
+                &stage.bursts,
+                WnicModel::new(WnicParams::cisco_aironet350()),
+            ))
         })
     });
     c.bench_function("profile/splice_and_stage", |b| {

@@ -7,11 +7,11 @@
 
 use ff_base::{Bytes, Dur, Joules};
 use ff_bench::Scenario;
-use ff_trace::Workload as _;
 use ff_cache::CacheConfig;
 use ff_policy::{BlueFs, FlexFetch, FlexFetchConfig, PolicyKind};
 use ff_profile::BurstExtractor;
 use ff_sim::{SimConfig, Simulation};
+use ff_trace::Workload as _;
 
 fn run_flexfetch(scenario: &Scenario, cfg: SimConfig, pcfg: FlexFetchConfig) -> (f64, f64) {
     let cfg = scenario.configure(cfg);
@@ -30,7 +30,10 @@ fn main() {
     println!("== loss rate (§2.2 rule 3; default 0.25) ==");
     println!("{:>10} {:>12} {:>10}", "loss", "energy", "time");
     for loss in [0.0, 0.10, 0.25, 0.50, 1.00] {
-        let pcfg = FlexFetchConfig { loss_rate: loss, ..Default::default() };
+        let pcfg = FlexFetchConfig {
+            loss_rate: loss,
+            ..Default::default()
+        };
         let (e, t) = run_flexfetch(&s, SimConfig::default(), pcfg);
         let mark = if loss == 0.25 { "*" } else { " " };
         println!("{loss:>9}{mark} {e:>11.1}J {t:>9.1}s");
@@ -39,8 +42,14 @@ fn main() {
     println!("\n== evaluation stage length (§2.2; default 40 s) ==");
     println!("{:>10} {:>12} {:>10}", "stage", "energy", "time");
     for secs in [10u64, 20, 40, 80, 160] {
-        let pcfg = FlexFetchConfig { stage_len: Dur::from_secs(secs), ..Default::default() };
-        let cfg = SimConfig { stage_len: Dur::from_secs(secs), ..Default::default() };
+        let pcfg = FlexFetchConfig {
+            stage_len: Dur::from_secs(secs),
+            ..Default::default()
+        };
+        let cfg = SimConfig {
+            stage_len: Dur::from_secs(secs),
+            ..Default::default()
+        };
         let (e, t) = run_flexfetch(&s, cfg, pcfg);
         let mark = if secs == 40 { "*" } else { " " };
         println!("{:>9}{mark} {e:>11.1}J {t:>9.1}s", format!("{secs}s"));
@@ -48,19 +57,27 @@ fn main() {
 
     println!("\n== burst threshold (§2.1; default 20 ms = disk access time) ==");
     println!("(the recorded profile is re-extracted with each threshold)");
-    println!("{:>10} {:>12} {:>10} {:>8}", "thresh", "energy", "time", "bursts");
+    println!(
+        "{:>10} {:>12} {:>10} {:>8}",
+        "thresh", "energy", "time", "bursts"
+    );
     let prior = ff_trace::Grep::default()
         .build(43)
         .concat(&ff_trace::Make::default().build(43), Dur::from_secs(2))
         .unwrap();
     for ms in [2u64, 10, 20, 50, 200] {
-        let extractor =
-            BurstExtractor { threshold: Dur::from_millis(ms), ..Default::default() };
+        let extractor = BurstExtractor {
+            threshold: Dur::from_millis(ms),
+            ..Default::default()
+        };
         let profile = ff_profile::Profile {
             app: prior.name.clone(),
             bursts: extractor.extract(&prior),
         };
-        let pcfg = FlexFetchConfig { extractor, ..Default::default() };
+        let pcfg = FlexFetchConfig {
+            extractor,
+            ..Default::default()
+        };
         let policy = FlexFetch::new(profile.clone(), pcfg);
         let r = Simulation::new(s.configure(SimConfig::default()), &s.trace)
             .policy_boxed(Box::new(policy))
@@ -79,7 +96,10 @@ fn main() {
     println!("\n== audit hysteresis margin (default 0.10) ==");
     println!("{:>10} {:>12} {:>10}", "margin", "energy", "time");
     for m in [0.0, 0.05, 0.10, 0.30] {
-        let pcfg = FlexFetchConfig { audit_margin: m, ..Default::default() };
+        let pcfg = FlexFetchConfig {
+            audit_margin: m,
+            ..Default::default()
+        };
         let (e, t) = run_flexfetch(&s, SimConfig::default(), pcfg);
         let mark = if m == 0.10 { "*" } else { " " };
         println!("{m:>9}{mark} {e:>11.1}J {t:>9.1}s");
@@ -96,7 +116,11 @@ fn main() {
             .run()
             .unwrap();
         let mark = if secs == 20 { "*" } else { " " };
-        println!("{:>9}{mark} {e:>11.1}J {:>11.1}J", format!("{secs}s"), r.total_energy().get());
+        println!(
+            "{:>9}{mark} {e:>11.1}J {:>11.1}J",
+            format!("{secs}s"),
+            r.total_energy().get()
+        );
     }
 
     println!("\n== buffer-cache capacity (default 32768 pages = 128 MiB) ==");
@@ -118,10 +142,16 @@ fn main() {
     }
 
     println!("\n== readahead window (default 32 pages = 128 KiB; 0 = off) ==");
-    println!("{:>10} {:>12} {:>10} {:>10}", "pages", "energy", "disk reqs", "wnic reqs");
+    println!(
+        "{:>10} {:>12} {:>10} {:>10}",
+        "pages", "energy", "disk reqs", "wnic reqs"
+    );
     for ra in [0u64, 8, 32, 128] {
         let cfg = SimConfig {
-            cache: CacheConfig { readahead_max_pages: ra, ..CacheConfig::default() },
+            cache: CacheConfig {
+                readahead_max_pages: ra,
+                ..CacheConfig::default()
+            },
             ..Default::default()
         };
         let r = Simulation::new(s.configure(cfg), &s.trace)
@@ -158,7 +188,11 @@ fn main() {
             .run()
             .unwrap();
         let mark = if secs == 20 { "*" } else { " " };
-        println!("{:>9}{mark} {:>11.1}J", format!("{secs}s"), r.total_energy().get());
+        println!(
+            "{:>9}{mark} {:>11.1}J",
+            format!("{secs}s"),
+            r.total_energy().get()
+        );
     }
 
     println!("\n== single-packet PSM service (Table 2 adaptive PM; default 1500 B) ==");

@@ -6,13 +6,18 @@ use ff_bench::{standard_policies, Scenario};
 use ff_sim::{SimConfig, Simulation};
 
 fn main() {
-    let lat_ms: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let lat_ms: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let scenario = Scenario::grep_make(42);
     for kind in standard_policies(&scenario) {
-        let cfg = scenario.configure(
-            SimConfig::default().with_wnic_latency(Dur::from_millis(lat_ms)),
-        );
-        let r = Simulation::new(cfg, &scenario.trace).policy(kind).run().unwrap();
+        let cfg =
+            scenario.configure(SimConfig::default().with_wnic_latency(Dur::from_millis(lat_ms)));
+        let r = Simulation::new(cfg, &scenario.trace)
+            .policy(kind)
+            .run()
+            .unwrap();
         println!("{}", r.summary());
         print!("  disk: ");
         for (s, d, e) in r.disk_meter.residencies() {

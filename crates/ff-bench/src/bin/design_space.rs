@@ -62,7 +62,11 @@ fn main() {
             let winner = if disk <= wnic { 'D' } else { 'W' };
             let best = disk.min(wnic);
             let matched = ff <= best * 1.05;
-            let cell = if matched { winner } else { winner.to_ascii_lowercase() };
+            let cell = if matched {
+                winner
+            } else {
+                winner.to_ascii_lowercase()
+            };
             print!(" {cell:>7}");
         }
         println!();

@@ -21,7 +21,10 @@ fn grep_make(seed: u64) -> Trace {
 fn main() {
     println!("== profile evolution: grep+make, run after run ==");
     println!("(run 1 has no history; each run records the profile for the next)\n");
-    println!("{:>5} {:>12} {:>10} {:>8}", "run", "energy", "time", "bursts");
+    println!(
+        "{:>5} {:>12} {:>10} {:>8}",
+        "run", "energy", "time", "bursts"
+    );
 
     let mut profile = Profile::empty("grep+make");
     let mut energies = Vec::new();
@@ -41,8 +44,7 @@ fn main() {
         profile = report.recorded_profile.expect("FlexFetch records");
     }
     let first = energies[0];
-    let steady: f64 =
-        energies[1..].iter().sum::<f64>() / (energies.len() - 1) as f64;
+    let steady: f64 = energies[1..].iter().sum::<f64>() / (energies.len() - 1) as f64;
     println!(
         "\nblind first run {first:.0} J -> informed steady state {steady:.0} J \
          ({:+.1}% from history)\n",
@@ -60,7 +62,11 @@ fn main() {
             .policy(PolicyKind::flexfetch(profile.clone()))
             .run()
             .unwrap();
-        println!("{run:>5} {:>11.1}J {:>24}", report.total_energy().get(), origin);
+        println!(
+            "{run:>5} {:>11.1}J {:>24}",
+            report.total_energy().get(),
+            origin
+        );
         profile = report.recorded_profile.expect("records");
         origin = format!("recorded in run {run}");
     }

@@ -13,10 +13,10 @@
 
 use ff_base::{Bytes, Dur};
 use ff_bench::Scenario;
-use ff_trace::Workload as _;
 use ff_policy::PolicyKind;
 use ff_profile::HoardPlanner;
 use ff_sim::{SimConfig, Simulation};
+use ff_trace::Workload as _;
 
 fn main() {
     hoarding_budget();
@@ -42,7 +42,10 @@ fn flash_tier() {
             .concat(&ff_trace::Grep::default().build(43), Dur::from_secs(30))
             .unwrap(),
     );
-    println!("{:>10} {:>12} {:>12} {:>12}", "flash", "FlexFetch", "Disk-only", "WNIC-only");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "flash", "FlexFetch", "Disk-only", "WNIC-only"
+    );
     for flash_mb in [0usize, 64, 256] {
         let cfg = || {
             let mut c = SimConfig::default();
@@ -53,7 +56,12 @@ fn flash_tier() {
             c
         };
         let run = |kind: PolicyKind| {
-            Simulation::new(cfg(), &twice).policy(kind).run().unwrap().total_energy().get()
+            Simulation::new(cfg(), &twice)
+                .policy(kind)
+                .run()
+                .unwrap()
+                .total_energy()
+                .get()
         };
         println!(
             "{:>7}MB {:>11.1}J {:>11.1}J {:>11.1}J",
@@ -115,7 +123,10 @@ fn outage() {
             .policy(kind.clone())
             .run()
             .unwrap();
-        let out = Simulation::new(cfg(), &s.trace).policy(kind.clone()).run().unwrap();
+        let out = Simulation::new(cfg(), &s.trace)
+            .policy(kind.clone())
+            .run()
+            .unwrap();
         println!(
             "{:>18} {:>11.1}J {:>11.1}J",
             kind.label(),
@@ -166,7 +177,10 @@ fn hoarding_budget() {
 fn write_sync() {
     println!("== extension: write-synchronisation overhead (grep+make) ==");
     let s = Scenario::grep_make(42);
-    println!("{:>12} {:>12} {:>12} {:>12}", "policy", "no sync", "sync", "overhead");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "policy", "no sync", "sync", "overhead"
+    );
     for kind in [
         PolicyKind::flexfetch(s.profile.clone()),
         PolicyKind::DiskOnly,

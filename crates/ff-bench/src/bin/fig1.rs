@@ -13,6 +13,10 @@ fn main() {
     print_csv(&a);
 
     let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
-    print_table("Fig 1(b) grep+make: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_table(
+        "Fig 1(b) grep+make: energy vs WNIC bandwidth",
+        "bw(Mbps)",
+        &b,
+    );
     print_csv(&b);
 }

@@ -12,10 +12,18 @@ fn main() {
     let policies = standard_policies(&scenario);
 
     let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
-    print_table("Fig 3(a) thunderbird: energy vs WNIC latency", "lat(ms)", &a);
+    print_table(
+        "Fig 3(a) thunderbird: energy vs WNIC latency",
+        "lat(ms)",
+        &a,
+    );
     print_csv(&a);
 
     let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
-    print_table("Fig 3(b) thunderbird: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_table(
+        "Fig 3(b) thunderbird: energy vs WNIC bandwidth",
+        "bw(Mbps)",
+        &b,
+    );
     print_csv(&b);
 }

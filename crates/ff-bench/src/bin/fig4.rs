@@ -19,10 +19,18 @@ fn main() {
     ];
 
     let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
-    print_table("Fig 4(a) grep+make||xmms: energy vs WNIC latency", "lat(ms)", &a);
+    print_table(
+        "Fig 4(a) grep+make||xmms: energy vs WNIC latency",
+        "lat(ms)",
+        &a,
+    );
     print_csv(&a);
 
     let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
-    print_table("Fig 4(b) grep+make||xmms: energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_table(
+        "Fig 4(b) grep+make||xmms: energy vs WNIC bandwidth",
+        "bw(Mbps)",
+        &b,
+    );
     print_csv(&b);
 }

@@ -20,10 +20,18 @@ fn main() {
     ];
 
     let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
-    print_table("Fig 5(a) acroread (invalid profile): energy vs WNIC latency", "lat(ms)", &a);
+    print_table(
+        "Fig 5(a) acroread (invalid profile): energy vs WNIC latency",
+        "lat(ms)",
+        &a,
+    );
     print_csv(&a);
 
     let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
-    print_table("Fig 5(b) acroread (invalid profile): energy vs WNIC bandwidth", "bw(Mbps)", &b);
+    print_table(
+        "Fig 5(b) acroread (invalid profile): energy vs WNIC bandwidth",
+        "bw(Mbps)",
+        &b,
+    );
     print_csv(&b);
 }

@@ -2,8 +2,8 @@
 //! sweeps the `fig1`–`fig5` binaries print, drawn.
 
 use ff_bench::{
-    bandwidth_sweep, latency_sweep, line_chart, rows_to_series, standard_policies,
-    Scenario, BANDWIDTHS_MBPS, LATENCIES_MS,
+    bandwidth_sweep, latency_sweep, line_chart, rows_to_series, standard_policies, Scenario,
+    BANDWIDTHS_MBPS, LATENCIES_MS,
 };
 use ff_policy::PolicyKind;
 
@@ -41,9 +41,10 @@ fn main() {
             &b,
         );
     }
-    for (n, scenario) in
-        [(4, Scenario::grep_make_xmms(42)), (5, Scenario::acroread_invalid(42))]
-    {
+    for (n, scenario) in [
+        (4, Scenario::grep_make_xmms(42)),
+        (5, Scenario::acroread_invalid(42)),
+    ] {
         let policies = vec![
             PolicyKind::flexfetch(scenario.profile.clone()),
             PolicyKind::flexfetch_static(scenario.profile.clone()),

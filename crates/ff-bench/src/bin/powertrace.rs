@@ -29,7 +29,9 @@ fn dump(device: &str, log: &[PowerEvent]) {
 }
 
 fn main() {
-    let policy = std::env::args().nth(1).unwrap_or_else(|| "flexfetch".into());
+    let policy = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "flexfetch".into());
     let s = Scenario::mplayer(42);
     let kind = match policy.as_str() {
         "flexfetch" => PolicyKind::flexfetch(s.profile.clone()),

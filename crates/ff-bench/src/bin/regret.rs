@@ -25,7 +25,12 @@ fn main() {
     for s in &scenarios {
         let cfg = || s.configure(SimConfig::default());
         let run = |kind: PolicyKind| {
-            Simulation::new(cfg(), &s.trace).policy(kind).run().unwrap().total_energy().get()
+            Simulation::new(cfg(), &s.trace)
+                .policy(kind)
+                .run()
+                .unwrap()
+                .total_energy()
+                .get()
         };
         let ff = run(PolicyKind::flexfetch(s.profile.clone()));
         let disk = run(PolicyKind::DiskOnly);

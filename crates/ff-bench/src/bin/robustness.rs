@@ -35,11 +35,31 @@ fn energy(s: &Scenario, kind: PolicyKind) -> f64 {
 
 fn main() {
     let seeds: Vec<u64> = (0..10).map(|i| 1000 + i * 77).collect();
-    let mut t1 = Tally { name: "fig1: FF < WNIC < Disk ≤ BlueFS·1.05", held: 0, total: 0 };
-    let mut t2 = Tally { name: "fig2: FF within 10% of WNIC; BlueFS > Disk", held: 0, total: 0 };
-    let mut t3 = Tally { name: "fig3: FF wins outright", held: 0, total: 0 };
-    let mut t4 = Tally { name: "fig4: free-ride saves ≥10% vs static", held: 0, total: 0 };
-    let mut t5 = Tally { name: "fig5: static/1.15 > FF > BlueFS", held: 0, total: 0 };
+    let mut t1 = Tally {
+        name: "fig1: FF < WNIC < Disk ≤ BlueFS·1.05",
+        held: 0,
+        total: 0,
+    };
+    let mut t2 = Tally {
+        name: "fig2: FF within 10% of WNIC; BlueFS > Disk",
+        held: 0,
+        total: 0,
+    };
+    let mut t3 = Tally {
+        name: "fig3: FF wins outright",
+        held: 0,
+        total: 0,
+    };
+    let mut t4 = Tally {
+        name: "fig4: free-ride saves ≥10% vs static",
+        held: 0,
+        total: 0,
+    };
+    let mut t5 = Tally {
+        name: "fig5: static/1.15 > FF > BlueFS",
+        held: 0,
+        total: 0,
+    };
 
     for &seed in &seeds {
         let s = Scenario::grep_make(seed);

@@ -8,9 +8,7 @@
 //! best fixed timeout in hindsight without knowing the workload.
 
 use ff_base::Dur;
-use ff_device::spindown::{
-    fixed_timeout_energy, idle_periods, oracle_energy, ShareSpindown,
-};
+use ff_device::spindown::{fixed_timeout_energy, idle_periods, oracle_energy, ShareSpindown};
 use ff_device::DiskParams;
 use ff_trace::{Acroread, Make, Mplayer, Thunderbird, Trace, Workload, Xmms};
 
@@ -29,7 +27,14 @@ fn main() {
 
     let workloads: Vec<(&str, Trace)> = vec![
         ("make", Make::default().build(42)),
-        ("xmms", Xmms { play_limit: Some(Dur::from_secs(600)), ..Default::default() }.build(42)),
+        (
+            "xmms",
+            Xmms {
+                play_limit: Some(Dur::from_secs(600)),
+                ..Default::default()
+            }
+            .build(42),
+        ),
         ("mplayer", Mplayer::default().build(42)),
         ("thunderbird", Thunderbird::default().build(42)),
         ("acroread", Acroread::large_search().build(42)),

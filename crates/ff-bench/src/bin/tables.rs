@@ -22,15 +22,30 @@ fn main() {
 
     let w = WnicParams::cisco_aironet350();
     println!("\n== Table 2: Cisco Aironet 350 WNIC ==");
-    println!("{:<28} {} / {} / {}", "PSM (idle/recv/send)", w.psm_idle, w.psm_recv, w.psm_send);
-    println!("{:<28} {} / {} / {}", "CAM (idle/recv/send)", w.cam_idle, w.cam_recv, w.cam_send);
-    println!("{:<28} {} / {}", "CAM to PSM (delay/energy)", w.to_psm_time, w.to_psm_energy);
-    println!("{:<28} {} / {}", "PSM to CAM (delay/energy)", w.to_cam_time, w.to_cam_energy);
+    println!(
+        "{:<28} {} / {} / {}",
+        "PSM (idle/recv/send)", w.psm_idle, w.psm_recv, w.psm_send
+    );
+    println!(
+        "{:<28} {} / {} / {}",
+        "CAM (idle/recv/send)", w.cam_idle, w.cam_recv, w.cam_send
+    );
+    println!(
+        "{:<28} {} / {}",
+        "CAM to PSM (delay/energy)", w.to_psm_time, w.to_psm_energy
+    );
+    println!(
+        "{:<28} {} / {}",
+        "PSM to CAM (delay/energy)", w.to_cam_time, w.to_cam_energy
+    );
     println!("{:<28} {}", "PSM timeout", w.psm_timeout);
     println!("{:<28} {}", "Bandwidth", w.bandwidth);
 
     println!("\n== Table 3: trace inventory (generated, seed 42) ==");
-    println!("{:<14} {:>8} {:>10} {:>10} {:>12}", "Name", "# File", "Size(MB)", "records", "requested MB");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>12}",
+        "Name", "# File", "Size(MB)", "records", "requested MB"
+    );
     let workloads: Vec<(Box<dyn Workload>, &str)> = vec![
         (Box::new(Thunderbird::default()), "email client"),
         (Box::new(Make::default()), "kernel build"),

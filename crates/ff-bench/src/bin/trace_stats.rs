@@ -10,14 +10,29 @@ fn main() {
     let workloads: Vec<(&str, Trace)> = vec![
         ("grep", Grep::default().build(42)),
         ("make", Make::default().build(42)),
-        ("xmms", Xmms { play_limit: Some(Dur::from_secs(600)), ..Default::default() }.build(42)),
+        (
+            "xmms",
+            Xmms {
+                play_limit: Some(Dur::from_secs(600)),
+                ..Default::default()
+            }
+            .build(42),
+        ),
         ("mplayer", Mplayer::default().build(42)),
         ("thunderbird", Thunderbird::default().build(42)),
         ("acroread", Acroread::large_search().build(42)),
     ];
     println!(
         "{:<13} {:>8} {:>8} {:>7} {:>9} {:>10} {:>10} {:>8} {:>8}",
-        "workload", "calls", "bursty%", "seq%", "read%", "think p50", "think p90", "avg req", "top10%"
+        "workload",
+        "calls",
+        "bursty%",
+        "seq%",
+        "read%",
+        "think p50",
+        "think p90",
+        "avg req",
+        "top10%"
     );
     for (name, trace) in &workloads {
         let a = analyze(trace);

@@ -34,28 +34,43 @@ impl Scenario {
         let build = |s: u64| -> Trace {
             let grep = Grep::default().build(s);
             let make = Make::default().build(s);
-            grep.concat(&make, Dur::from_secs(2)).expect("disjoint inodes")
+            grep.concat(&make, Dur::from_secs(2))
+                .expect("disjoint inodes")
         };
         let trace = build(seed);
         // The profile comes from a previous execution: same program,
         // different run (seed), same shape.
         let profile = Profiler::standard().profile(&build(seed + 1));
-        Scenario { name: "grep+make", trace, profile, pinned: Vec::new() }
+        Scenario {
+            name: "grep+make",
+            trace,
+            profile,
+            pinned: Vec::new(),
+        }
     }
 
     /// §3.3.2 — the media-streaming scenario.
     pub fn mplayer(seed: u64) -> Scenario {
         let trace = Mplayer::default().build(seed);
         let profile = Profiler::standard().profile(&Mplayer::default().build(seed + 1));
-        Scenario { name: "mplayer", trace, profile, pinned: Vec::new() }
+        Scenario {
+            name: "mplayer",
+            trace,
+            profile,
+            pinned: Vec::new(),
+        }
     }
 
     /// §3.3.3 — the email search scenario.
     pub fn thunderbird(seed: u64) -> Scenario {
         let trace = Thunderbird::default().build(seed);
-        let profile =
-            Profiler::standard().profile(&Thunderbird::default().build(seed + 1));
-        Scenario { name: "thunderbird", trace, profile, pinned: Vec::new() }
+        let profile = Profiler::standard().profile(&Thunderbird::default().build(seed + 1));
+        Scenario {
+            name: "thunderbird",
+            trace,
+            profile,
+            pinned: Vec::new(),
+        }
     }
 
     /// §3.3.4 — grep+make with xmms running concurrently; the MP3 library
@@ -64,19 +79,32 @@ impl Scenario {
         let gm = Scenario::grep_make(seed);
         // Play music for the whole programming session.
         let span = gm.trace.stats().span + Dur::from_secs(30);
-        let xmms = Xmms { play_limit: Some(span), ..Xmms::default() }.build(seed);
+        let xmms = Xmms {
+            play_limit: Some(span),
+            ..Xmms::default()
+        }
+        .build(seed);
         let pinned: Vec<FileId> = xmms.files.iter().map(|f| f.id).collect();
         let trace = gm.trace.merge(&xmms).expect("disjoint inodes");
-        Scenario { name: "grep+make||xmms", trace, profile: gm.profile, pinned }
+        Scenario {
+            name: "grep+make||xmms",
+            trace,
+            profile: gm.profile,
+            pinned,
+        }
     }
 
     /// §3.3.5 — Acroread searching 20 MB PDFs every 10 s, driven by an
     /// out-of-date profile recorded over 2 MB PDFs read every 25 s.
     pub fn acroread_invalid(seed: u64) -> Scenario {
         let trace = Acroread::large_search().build(seed);
-        let profile =
-            Profiler::standard().profile(&Acroread::small_profile().build(seed + 1));
-        Scenario { name: "acroread", trace, profile, pinned: Vec::new() }
+        let profile = Profiler::standard().profile(&Acroread::small_profile().build(seed + 1));
+        Scenario {
+            name: "acroread",
+            trace,
+            profile,
+            pinned: Vec::new(),
+        }
     }
 }
 
@@ -112,8 +140,7 @@ mod tests {
     fn acroread_profile_mismatch_is_real() {
         let s = Scenario::acroread_invalid(1);
         // Current run requests 10× the profiled bytes (20 MB vs 2 MB files).
-        let ratio =
-            s.trace.total_bytes().get() as f64 / s.profile.total_bytes().get() as f64;
+        let ratio = s.trace.total_bytes().get() as f64 / s.profile.total_bytes().get() as f64;
         assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
     }
 }

@@ -26,7 +26,8 @@ pub fn rows_to_series(rows: &[Row]) -> Vec<Series> {
         }
     }
     for s in &mut out {
-        s.points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
     }
     out
 }
@@ -37,8 +38,9 @@ const ML: f64 = 70.0; // left margin
 const MR: f64 = 20.0;
 const MT: f64 = 40.0;
 const MB: f64 = 55.0;
-const PALETTE: [&str; 6] =
-    ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
 
 fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     if hi <= lo {
@@ -69,20 +71,35 @@ fn fmt_num(v: f64) -> String {
     } else if v.abs() >= 10.0 {
         format!("{:.1}", v).trim_end_matches(".0").to_string()
     } else {
-        format!("{:.2}", v).trim_end_matches('0').trim_end_matches('.').to_string()
+        format!("{:.2}", v)
+            .trim_end_matches('0')
+            .trim_end_matches('.')
+            .to_string()
     }
 }
 
 /// Render a line chart. Y always starts at zero (energy comparisons are
 /// only honest with a zero baseline).
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
-    let ys: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.1)).collect();
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
     let (xmin, xmax) = xs
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| (a.min(v), b.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+            (a.min(v), b.max(v))
+        });
     let ymax = ys.iter().fold(0.0f64, |a, &v| a.max(v)) * 1.05;
-    let (xmin, xmax) = if xmin.is_finite() { (xmin, xmax.max(xmin + 1e-9)) } else { (0.0, 1.0) };
+    let (xmin, xmax) = if xmin.is_finite() {
+        (xmin, xmax.max(xmin + 1e-9))
+    } else {
+        (0.0, 1.0)
+    };
     let ymax = if ymax > 0.0 { ymax } else { 1.0 };
 
     let px = |x: f64| ML + (x - xmin) / (xmax - xmin) * (W - ML - MR);
@@ -194,10 +211,30 @@ mod tests {
 
     fn rows() -> Vec<Row> {
         vec![
-            Row { policy: "A".into(), x: 0.0, energy_j: 10.0, time_s: 1.0 },
-            Row { policy: "B".into(), x: 0.0, energy_j: 20.0, time_s: 1.0 },
-            Row { policy: "A".into(), x: 5.0, energy_j: 15.0, time_s: 1.0 },
-            Row { policy: "B".into(), x: 5.0, energy_j: 12.0, time_s: 1.0 },
+            Row {
+                policy: "A".into(),
+                x: 0.0,
+                energy_j: 10.0,
+                time_s: 1.0,
+            },
+            Row {
+                policy: "B".into(),
+                x: 0.0,
+                energy_j: 20.0,
+                time_s: 1.0,
+            },
+            Row {
+                policy: "A".into(),
+                x: 5.0,
+                energy_j: 15.0,
+                time_s: 1.0,
+            },
+            Row {
+                policy: "B".into(),
+                x: 5.0,
+                energy_j: 12.0,
+                time_s: 1.0,
+            },
         ]
     }
 
@@ -242,7 +279,10 @@ mod tests {
 
     #[test]
     fn single_point_series_renders() {
-        let s = vec![Series { name: "solo".into(), points: vec![(2.0, 3.0)] }];
+        let s = vec![Series {
+            name: "solo".into(),
+            points: vec![(2.0, 3.0)],
+        }];
         let svg = line_chart("one", "x", "y", &s);
         assert!(svg.contains("circle"));
     }

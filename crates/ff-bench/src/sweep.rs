@@ -55,7 +55,10 @@ pub fn latency_sweep(
         .flat_map(|(pi, _)| latencies_ms.iter().map(move |&l| (pi, l)))
         .collect();
     run_parallel(scenario, policies, &points, |l| {
-        (SimConfig::default().with_wnic_latency(Dur::from_millis(l)), l as f64)
+        (
+            SimConfig::default().with_wnic_latency(Dur::from_millis(l)),
+            l as f64,
+        )
     })
 }
 
@@ -69,7 +72,9 @@ pub fn bandwidth_sweep(
         .iter()
         .enumerate()
         .flat_map(|(pi, _)| {
-            bandwidths_mbps.iter().map(move |&b| (pi, (b * 1000.0) as u64))
+            bandwidths_mbps
+                .iter()
+                .map(move |&b| (pi, (b * 1000.0) as u64))
         })
         .collect();
     run_parallel(scenario, policies, &points, |milli_mbps| {
@@ -89,7 +94,9 @@ fn run_parallel(
     points: &[(usize, u64)],
     make_cfg: impl Fn(u64) -> (SimConfig, f64) + Sync,
 ) -> Vec<Row> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let mut rows: Vec<Option<Row>> = vec![None; points.len()];
     let chunk = points.len().div_ceil(threads);
     crossbeam::scope(|s| {
@@ -104,7 +111,9 @@ fn run_parallel(
         }
     })
     .expect("sweep worker panicked");
-    rows.into_iter().map(|r| r.expect("all points filled")).collect()
+    rows.into_iter()
+        .map(|r| r.expect("all points filled"))
+        .collect()
 }
 
 /// Print a figure as an aligned table: one row per x, one column per
@@ -173,11 +182,19 @@ mod tests {
     fn sweep_covers_every_policy_and_point() {
         let mut s = Scenario::grep_make(1);
         // Shrink the workload so the test is quick.
-        s.trace = ff_trace::Grep { files: 30, total_bytes: 1_500_000, ..Default::default() }
-            .build(2);
+        s.trace = ff_trace::Grep {
+            files: 30,
+            total_bytes: 1_500_000,
+            ..Default::default()
+        }
+        .build(2);
         s.profile = ff_profile::Profiler::standard().profile(
-            &ff_trace::Grep { files: 30, total_bytes: 1_500_000, ..Default::default() }
-                .build(3),
+            &ff_trace::Grep {
+                files: 30,
+                total_bytes: 1_500_000,
+                ..Default::default()
+            }
+            .build(3),
         );
         let policies = [PolicyKind::DiskOnly, PolicyKind::WnicOnly];
         let rows = latency_sweep(&s, &policies, &[0, 10]);
@@ -186,8 +203,14 @@ mod tests {
         let rows = bandwidth_sweep(&s, &policies, &[1.0, 11.0]);
         assert_eq!(rows.len(), 4);
         // WNIC-only at 1 Mbps must cost more than at 11 Mbps.
-        let w1 = rows.iter().find(|r| r.policy == "WNIC-only" && r.x == 1.0).unwrap();
-        let w11 = rows.iter().find(|r| r.policy == "WNIC-only" && r.x == 11.0).unwrap();
+        let w1 = rows
+            .iter()
+            .find(|r| r.policy == "WNIC-only" && r.x == 1.0)
+            .unwrap();
+        let w11 = rows
+            .iter()
+            .find(|r| r.policy == "WNIC-only" && r.x == 11.0)
+            .unwrap();
         assert!(w1.energy_j > w11.energy_j);
     }
 }

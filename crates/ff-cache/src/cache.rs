@@ -159,19 +159,15 @@ impl BufferCache {
                 out.prefetch.push((s, plen));
             }
         }
-        out.evicted_dirty =
-            evicted.into_iter().filter(|k| self.writeback.on_evict(*k)).collect();
+        out.evicted_dirty = evicted
+            .into_iter()
+            .filter(|k| self.writeback.on_evict(*k))
+            .collect();
         out
     }
 
     /// Application write (write-allocate, dirty in cache).
-    pub fn write(
-        &mut self,
-        now: SimTime,
-        file: FileId,
-        offset: u64,
-        len: Bytes,
-    ) -> WriteOutcome {
+    pub fn write(&mut self, now: SimTime, file: FileId, offset: u64, len: Bytes) -> WriteOutcome {
         let mut out = WriteOutcome::default();
         if len.is_zero() {
             return out;
@@ -241,7 +237,10 @@ mod tests {
     const SZ: Bytes = Bytes(100 * 4096);
 
     fn cache(pages: usize) -> BufferCache {
-        BufferCache::new(CacheConfig { capacity_pages: pages, ..Default::default() })
+        BufferCache::new(CacheConfig {
+            capacity_pages: pages,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -289,7 +288,10 @@ mod tests {
             demand_pages += out.demand.iter().map(|&(_, n)| n).sum::<u64>();
         }
         // Without readahead this would be 100; windows cut it drastically.
-        assert!(demand_pages <= 10, "demand pages {demand_pages} — readahead inert");
+        assert!(
+            demand_pages <= 10,
+            "demand pages {demand_pages} — readahead inert"
+        );
     }
 
     #[test]
@@ -392,13 +394,20 @@ mod tests {
         let g = FileId(8);
         let mut demand = 0u64;
         for i in 0..20u64 {
-            demand += c.read(SimTime::ZERO, F, i * 4096, Bytes(4096), SZ).fetch_pages();
-            demand += c.read(SimTime::ZERO, g, i * 4096, Bytes(4096), SZ).fetch_pages();
+            demand += c
+                .read(SimTime::ZERO, F, i * 4096, Bytes(4096), SZ)
+                .fetch_pages();
+            demand += c
+                .read(SimTime::ZERO, g, i * 4096, Bytes(4096), SZ)
+                .fetch_pages();
         }
         // Both streams keep their readahead through the interleave: the
         // fetch total is dominated by the doubling windows (4+8+16+32 per
         // stream), not by per-call demand misses.
-        assert!(demand <= 130, "interleaved streams broke readahead: {demand} pages");
+        assert!(
+            demand <= 130,
+            "interleaved streams broke readahead: {demand} pages"
+        );
         let (h, m) = c.hit_stats();
         assert!(h > m, "most demand pages should hit ({h} vs {m})");
     }

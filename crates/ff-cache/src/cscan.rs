@@ -84,7 +84,14 @@ impl CScanQueue {
                 break;
             }
         }
-        self.pending.insert(start, BlockRequest { start, blocks: end - start, tag });
+        self.pending.insert(
+            start,
+            BlockRequest {
+                start,
+                blocks: end - start,
+                tag,
+            },
+        );
     }
 
     /// Dispatch the next request per C-SCAN order: the lowest start at or
@@ -97,7 +104,7 @@ impl CScanQueue {
             .next()
             .or_else(|| self.pending.iter().next())
             .map(|(&k, _)| k)?;
-        let req = self.pending.remove(&key).expect("key just observed");
+        let req = self.pending.remove(&key)?;
         self.head = req.end();
         Some(req)
     }
@@ -117,7 +124,11 @@ mod tests {
     use super::*;
 
     fn req(start: u64, blocks: u64) -> BlockRequest {
-        BlockRequest { start, blocks, tag: start }
+        BlockRequest {
+            start,
+            blocks,
+            tag: start,
+        }
     }
 
     #[test]
@@ -141,7 +152,11 @@ mod tests {
         q.push(req(10, 1));
         q.push(req(60, 1));
         let order: Vec<u64> = q.drain_sweep().iter().map(|r| r.start).collect();
-        assert_eq!(order, vec![60, 10], "C-SCAN serves upward first, then wraps to lowest");
+        assert_eq!(
+            order,
+            vec![60, 10],
+            "C-SCAN serves upward first, then wraps to lowest"
+        );
     }
 
     #[test]

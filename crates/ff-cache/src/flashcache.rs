@@ -13,7 +13,7 @@
 //! simulator owns the flash device model and pays the transfer costs.
 
 use crate::page::PageKey;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Page-granular LRU flash cache with a destage queue.
 #[derive(Debug, Clone)]
@@ -21,7 +21,7 @@ pub struct FlashCache {
     capacity_pages: usize,
     /// LRU: seq → page; reverse index page → seq.
     lru: BTreeMap<u64, PageKey>,
-    index: HashMap<PageKey, u64>,
+    index: BTreeMap<PageKey, u64>,
     /// Pages buffered for destage to the disk (still resident in LRU).
     dirty: BTreeMap<PageKey, ()>,
     seq: u64,
@@ -36,7 +36,7 @@ impl FlashCache {
         FlashCache {
             capacity_pages,
             lru: BTreeMap::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
             dirty: BTreeMap::new(),
             seq: 0,
             hits: 0,
@@ -103,7 +103,9 @@ impl FlashCache {
         }
         let mut spilled = Vec::new();
         while self.lru.len() > self.capacity_pages {
-            let (&seq, &victim) = self.lru.iter().next().expect("over capacity");
+            let Some((&seq, &victim)) = self.lru.iter().next() else {
+                break;
+            };
             self.lru.remove(&seq);
             self.index.remove(&victim);
             if self.dirty.remove(&victim).is_some() {
@@ -128,7 +130,10 @@ mod tests {
     use ff_trace::FileId;
 
     fn page(i: u64) -> PageKey {
-        PageKey { file: FileId(1), index: i }
+        PageKey {
+            file: FileId(1),
+            index: i,
+        }
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub mod twoq;
 pub mod writeback;
 
 pub use cache::{BufferCache, CacheConfig, ReadOutcome, WriteOutcome};
-pub use flashcache::FlashCache;
 pub use cscan::CScanQueue;
+pub use flashcache::FlashCache;
 pub use page::PageKey;
 pub use readahead::Readahead;
 pub use twoq::{Access, TwoQ};

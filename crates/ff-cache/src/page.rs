@@ -15,7 +15,10 @@ pub struct PageKey {
 impl PageKey {
     /// Key of the page containing byte `offset` of `file`.
     pub fn containing(file: FileId, offset: u64) -> Self {
-        PageKey { file, index: offset / PAGE_SIZE }
+        PageKey {
+            file,
+            index: offset / PAGE_SIZE,
+        }
     }
 
     /// Byte offset of the first byte of this page.

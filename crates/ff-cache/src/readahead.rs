@@ -12,7 +12,7 @@
 
 use crate::page::PageKey;
 use ff_trace::FileId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-file readahead state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,7 +32,7 @@ struct Stream {
 pub struct Readahead {
     max_pages: u64,
     initial_pages: u64,
-    streams: HashMap<FileId, Stream>,
+    streams: BTreeMap<FileId, Stream>,
 }
 
 impl Default for Readahead {
@@ -45,7 +45,11 @@ impl Readahead {
     /// Engine with the given maximum window (paper/Linux: 32 pages).
     /// `max_pages == 0` disables readahead entirely (ablation switch).
     pub fn new(max_pages: u64) -> Self {
-        Readahead { max_pages, initial_pages: 4.min(max_pages), streams: HashMap::new() }
+        Readahead {
+            max_pages,
+            initial_pages: 4.min(max_pages),
+            streams: BTreeMap::new(),
+        }
     }
 
     /// Maximum window size in pages.
@@ -59,12 +63,7 @@ impl Readahead {
     ///
     /// Returns `Some((start_page, len_pages))` when a new ahead window
     /// should be submitted.
-    pub fn on_access(
-        &mut self,
-        file: FileId,
-        first: u64,
-        last: u64,
-    ) -> Option<(u64, u64)> {
+    pub fn on_access(&mut self, file: FileId, first: u64, last: u64) -> Option<(u64, u64)> {
         debug_assert!(first <= last);
         if self.max_pages == 0 {
             return None;
@@ -158,7 +157,10 @@ mod tests {
         }
         // 4, 8, 16, 32, 32, 32 ...
         assert_eq!(&submitted[..4], &[4, 8, 16, 32]);
-        assert!(submitted[4..].iter().all(|&l| l == 32), "window exceeded max");
+        assert!(
+            submitted[4..].iter().all(|&l| l == 32),
+            "window exceeded max"
+        );
     }
 
     #[test]
@@ -200,7 +202,10 @@ mod tests {
         let mut ra = Readahead::default();
         ra.on_access(F, 0, 7); // 32 KiB read = 8 pages
         let got = ra.on_access(F, 8, 15);
-        assert!(got.is_some(), "sequential 32 KiB chunks must keep readahead going");
+        assert!(
+            got.is_some(),
+            "sequential 32 KiB chunks must keep readahead going"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! (to the ghost queue), then the LRU tail of Am.
 
 use crate::page::PageKey;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Result of touching a page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,12 +42,12 @@ pub struct TwoQ {
     kin: usize,
     kout: usize,
     a1in: VecDeque<PageKey>,
-    a1in_set: HashSet<PageKey>,
+    a1in_set: BTreeSet<PageKey>,
     a1out: VecDeque<PageKey>,
-    a1out_set: HashSet<PageKey>,
+    a1out_set: BTreeSet<PageKey>,
     /// LRU: sequence number → key, plus reverse index.
     am: BTreeMap<u64, PageKey>,
-    am_index: HashMap<PageKey, u64>,
+    am_index: BTreeMap<PageKey, u64>,
     seq: u64,
 }
 
@@ -62,11 +62,11 @@ impl TwoQ {
             kin: (capacity / 4).max(1),
             kout: (capacity / 2).max(1),
             a1in: VecDeque::new(),
-            a1in_set: HashSet::new(),
+            a1in_set: BTreeSet::new(),
             a1out: VecDeque::new(),
-            a1out_set: HashSet::new(),
+            a1out_set: BTreeSet::new(),
             am: BTreeMap::new(),
-            am_index: HashMap::new(),
+            am_index: BTreeMap::new(),
             seq: 0,
         }
     }
@@ -192,7 +192,10 @@ mod tests {
     use ff_trace::FileId;
 
     fn key(i: u64) -> PageKey {
-        PageKey { file: FileId(1), index: i }
+        PageKey {
+            file: FileId(1),
+            index: i,
+        }
     }
 
     fn touch(q: &mut TwoQ, i: u64) -> Access {
@@ -298,7 +301,11 @@ mod tests {
         touch(&mut q, 1);
         q.discard(key(1));
         assert!(!q.contains(key(1)));
-        assert_eq!(touch(&mut q, 1), Access::Miss, "discard must not leave a ghost");
+        assert_eq!(
+            touch(&mut q, 1),
+            Access::Miss,
+            "discard must not leave a ghost"
+        );
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub struct Writeback {
 impl Writeback {
     /// New registry.
     pub fn new(config: WritebackConfig) -> Self {
-        Writeback { config, dirty: BTreeMap::new(), last_wakeup: SimTime::ZERO }
+        Writeback {
+            config,
+            dirty: BTreeMap::new(),
+            last_wakeup: SimTime::ZERO,
+        }
     }
 
     /// The active configuration.
@@ -128,11 +132,17 @@ mod tests {
     use ff_trace::FileId;
 
     fn key(i: u64) -> PageKey {
-        PageKey { file: FileId(1), index: i }
+        PageKey {
+            file: FileId(1),
+            index: i,
+        }
     }
 
     fn wb(laptop: bool) -> Writeback {
-        Writeback::new(WritebackConfig { laptop_mode: laptop, ..Default::default() })
+        Writeback::new(WritebackConfig {
+            laptop_mode: laptop,
+            ..Default::default()
+        })
     }
 
     #[test]

@@ -20,11 +20,10 @@
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, PowerModel, ServiceOutcome};
 use ff_base::{BytesPerSec, Dur, Joules, SimTime, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Disk power/performance constants. Defaults are Table 1 plus the
 /// DK23DA mechanics quoted in §3.1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiskParams {
     /// Power while reading/writing (Table 1: 2.0 W).
     pub active_power: Watts,
@@ -149,7 +148,10 @@ impl DiskModel {
 
     /// New disk already in standby (for estimator what-if runs).
     pub fn new_standby(params: DiskParams) -> Self {
-        DiskModel { state: DiskState::Standby, ..DiskModel::new(params) }
+        DiskModel {
+            state: DiskState::Standby,
+            ..DiskModel::new(params)
+        }
     }
 
     /// The configured constants.
@@ -206,40 +208,41 @@ impl PowerModel for DiskModel {
                 DiskState::Idle => {
                     let deadline = self.idle_since + self.params.timeout;
                     if now < deadline {
-                        self.meter.dwell("idle", self.params.idle_power, now - self.clock);
+                        self.meter
+                            .dwell("idle", self.params.idle_power, now - self.clock);
                         self.clock = now;
                     } else {
                         // Dwell idle up to the timeout, then start the
                         // spin-down. Transition energy is booked up front;
                         // the transient dwells at 0 W to record residency.
                         if self.clock < deadline {
-                            self.meter.dwell(
-                                "idle",
-                                self.params.idle_power,
-                                deadline - self.clock,
-                            );
+                            self.meter
+                                .dwell("idle", self.params.idle_power, deadline - self.clock);
                             self.clock = deadline;
                         }
-                        self.meter.transition("spin_down", self.params.spindown_energy);
-                        self.state =
-                            DiskState::SpinningDown(deadline + self.params.spindown_time);
+                        self.meter
+                            .transition("spin_down", self.params.spindown_energy);
+                        self.state = DiskState::SpinningDown(deadline + self.params.spindown_time);
                     }
                 }
                 DiskState::SpinningDown(until) => {
                     let end = until.min(now);
-                    self.meter.dwell("spinning_down", Watts::ZERO, end - self.clock);
+                    self.meter
+                        .dwell("spinning_down", Watts::ZERO, end - self.clock);
                     self.clock = end;
                     if end == until {
                         self.state = DiskState::Standby;
                     }
                 }
                 DiskState::Standby => {
-                    self.meter.dwell("standby", self.params.standby_power, now - self.clock);
+                    self.meter
+                        .dwell("standby", self.params.standby_power, now - self.clock);
                     self.clock = now;
                 }
                 DiskState::SpinningUp(until) => {
                     let end = until.min(now);
-                    self.meter.dwell("spinning_up", Watts::ZERO, end - self.clock);
+                    self.meter
+                        .dwell("spinning_up", Watts::ZERO, end - self.clock);
                     self.clock = end;
                     if end == until {
                         self.state = DiskState::Idle;
@@ -282,8 +285,7 @@ impl PowerModel for DiskModel {
         self.clock += svc;
         self.state = DiskState::Idle;
         self.idle_since = self.clock;
-        self.next_seq_block =
-            req.block.map(|b| b + req.bytes.pages().max(1));
+        self.next_seq_block = req.block.map(|b| b + req.bytes.pages().max(1));
 
         ServiceOutcome {
             complete: self.clock,
@@ -395,15 +397,31 @@ mod tests {
         let mut d = disk();
         let first = d.service(SimTime::ZERO, &DeviceRequest::read(Bytes::kib(4), Some(10)));
         // Next block is 11 — contiguous.
-        let second = d.service(first.complete, &DeviceRequest::read(Bytes::kib(4), Some(11)));
+        let second = d.service(
+            first.complete,
+            &DeviceRequest::read(Bytes::kib(4), Some(11)),
+        );
         assert!(first.service_time >= Dur::from_millis(20));
-        assert!(second.service_time < Dur::from_millis(1), "{}", second.service_time);
+        assert!(
+            second.service_time < Dur::from_millis(1),
+            "{}",
+            second.service_time
+        );
         // A near jump pays the short settle, a far jump the full seek.
-        let third = d.service(second.complete, &DeviceRequest::read(Bytes::kib(4), Some(500)));
+        let third = d.service(
+            second.complete,
+            &DeviceRequest::read(Bytes::kib(4), Some(500)),
+        );
         assert!(third.service_time >= Dur::from_millis(2));
-        assert!(third.service_time < Dur::from_millis(5), "{}", third.service_time);
-        let fourth =
-            d.service(third.complete, &DeviceRequest::read(Bytes::kib(4), Some(500_000)));
+        assert!(
+            third.service_time < Dur::from_millis(5),
+            "{}",
+            third.service_time
+        );
+        let fourth = d.service(
+            third.complete,
+            &DeviceRequest::read(Bytes::kib(4), Some(500_000)),
+        );
         assert!(fourth.service_time >= Dur::from_millis(20));
     }
 
@@ -411,7 +429,10 @@ mod tests {
     fn request_from_standby_pays_spinup() {
         let mut d = disk();
         d.advance_to(SimTime::from_secs(60)); // now in standby
-        let out = d.service(SimTime::from_secs(60), &DeviceRequest::read(Bytes::kib(4), None));
+        let out = d.service(
+            SimTime::from_secs(60),
+            &DeviceRequest::read(Bytes::kib(4), None),
+        );
         // 1.6 s spin-up + 20 ms + tiny transfer.
         assert!(out.service_time >= Dur::from_millis(1_620));
         assert!(out.service_time < Dur::from_millis(1_630));
@@ -426,7 +447,10 @@ mod tests {
         // Timeout at 20 s; spin-down runs 20 s → 22.3 s. Arrive at 21 s.
         d.advance_to(SimTime::from_secs(21));
         assert!(matches!(d.state(), DiskState::SpinningDown(_)));
-        let out = d.service(SimTime::from_secs(21), &DeviceRequest::read(Bytes::kib(4), None));
+        let out = d.service(
+            SimTime::from_secs(21),
+            &DeviceRequest::read(Bytes::kib(4), None),
+        );
         // Wait 1.3 s for spin-down, then 1.6 s spin-up, then service.
         assert!(out.service_time >= Dur::from_millis(2_900));
         assert_eq!(d.meter().transition_count("spin_down"), 1);
@@ -447,9 +471,15 @@ mod tests {
     #[test]
     fn queued_request_starts_when_device_free() {
         let mut d = disk();
-        let a = d.service(SimTime::ZERO, &DeviceRequest::read(Bytes(35_000_000), Some(0)));
+        let a = d.service(
+            SimTime::ZERO,
+            &DeviceRequest::read(Bytes(35_000_000), Some(0)),
+        );
         // Second request "arrives" at t=0 too but the disk is busy ~1 s.
-        let b = d.service(SimTime::ZERO, &DeviceRequest::read(Bytes::kib(4), Some(90_000)));
+        let b = d.service(
+            SimTime::ZERO,
+            &DeviceRequest::read(Bytes::kib(4), Some(90_000)),
+        );
         assert!(b.complete > a.complete);
         assert!(b.service_time >= a.complete.saturating_since(SimTime::ZERO));
     }
@@ -462,7 +492,10 @@ mod tests {
             d
         };
         let before_energy = d.energy();
-        let est = d.estimate(SimTime::from_secs(60), &DeviceRequest::read(Bytes::kib(4), None));
+        let est = d.estimate(
+            SimTime::from_secs(60),
+            &DeviceRequest::read(Bytes::kib(4), None),
+        );
         assert!(est.energy.get() > 5.0);
         assert_eq!(d.energy(), before_energy);
         assert_eq!(d.state(), DiskState::Standby);
@@ -471,8 +504,22 @@ mod tests {
     #[test]
     fn writes_cost_like_reads_at_device_level() {
         let mut d = disk();
-        let r = d.estimate(SimTime::ZERO, &DeviceRequest { dir: Dir::Read, bytes: Bytes::kib(64), block: Some(5) });
-        let w = d.estimate(SimTime::ZERO, &DeviceRequest { dir: Dir::Write, bytes: Bytes::kib(64), block: Some(5) });
+        let r = d.estimate(
+            SimTime::ZERO,
+            &DeviceRequest {
+                dir: Dir::Read,
+                bytes: Bytes::kib(64),
+                block: Some(5),
+            },
+        );
+        let w = d.estimate(
+            SimTime::ZERO,
+            &DeviceRequest {
+                dir: Dir::Write,
+                bytes: Bytes::kib(64),
+                block: Some(5),
+            },
+        );
         assert_eq!(r.service_time, w.service_time);
         assert_eq!(r.energy, w.energy);
         let _ = &mut d;

@@ -12,11 +12,10 @@
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, Dir, PowerModel, ServiceOutcome};
 use ff_base::{BytesPerSec, Dur, Joules, SimTime, Watts};
-use serde::{Deserialize, Serialize};
 
 /// Flash device constants. Defaults model a 2007 CompactFlash card
 /// (the SmartSaver substrate).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlashParams {
     /// Power while reading.
     pub read_power: Watts,
@@ -64,7 +63,11 @@ pub struct FlashModel {
 impl FlashModel {
     /// New card, idle at t = 0.
     pub fn new(params: FlashParams) -> Self {
-        FlashModel { params, clock: SimTime::ZERO, meter: StateMeter::new() }
+        FlashModel {
+            params,
+            clock: SimTime::ZERO,
+            meter: StateMeter::new(),
+        }
     }
 
     /// The configured constants.
@@ -86,7 +89,8 @@ impl FlashModel {
 impl PowerModel for FlashModel {
     fn advance_to(&mut self, now: SimTime) {
         if now > self.clock {
-            self.meter.dwell("flash_idle", self.params.idle_power, now - self.clock);
+            self.meter
+                .dwell("flash_idle", self.params.idle_power, now - self.clock);
             self.clock = now;
         }
     }
@@ -168,7 +172,10 @@ mod tests {
     #[test]
     fn time_and_energy_fully_attributed() {
         let mut f = FlashModel::new(FlashParams::compact_flash_2007());
-        f.service(SimTime::from_secs(1), &DeviceRequest::write(Bytes::kib(128), None));
+        f.service(
+            SimTime::from_secs(1),
+            &DeviceRequest::write(Bytes::kib(128), None),
+        );
         f.advance_to(SimTime::from_secs(10));
         let m = f.meter();
         let metered: u64 = m.residencies().map(|(_, d, _)| d.as_micros()).sum();

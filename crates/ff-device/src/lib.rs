@@ -47,6 +47,6 @@ pub mod wnic;
 pub use disk::{DiskModel, DiskParams, DiskState};
 pub use flash::{FlashModel, FlashParams};
 pub use meter::{PowerEvent, StateMeter};
-pub use spindown::ShareSpindown;
 pub use model::{DeviceRequest, Dir, PowerModel, ServiceOutcome};
+pub use spindown::ShareSpindown;
 pub use wnic::{WnicModel, WnicParams, WnicState};

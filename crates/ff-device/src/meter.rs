@@ -63,18 +63,34 @@ impl StateMeter {
         }
         if let Some(log) = &mut self.log {
             // Coalesce with the previous segment when the state repeats.
-            if let Some(PowerEvent::Dwell { state: s, power: p, dur }) = log.last_mut() {
+            if let Some(PowerEvent::Dwell {
+                state: s,
+                power: p,
+                dur,
+            }) = log.last_mut()
+            {
                 if *s == state && *p == power {
                     *dur += d;
                 } else {
-                    log.push(PowerEvent::Dwell { state, power, dur: d });
+                    log.push(PowerEvent::Dwell {
+                        state,
+                        power,
+                        dur: d,
+                    });
                 }
             } else {
-                log.push(PowerEvent::Dwell { state, power, dur: d });
+                log.push(PowerEvent::Dwell {
+                    state,
+                    power,
+                    dur: d,
+                });
             }
         }
         let e = power * d;
-        let entry = self.residency.entry(state).or_insert((Dur::ZERO, Joules::ZERO));
+        let entry = self
+            .residency
+            .entry(state)
+            .or_insert((Dur::ZERO, Joules::ZERO));
         entry.0 += d;
         entry.1 += e;
         self.total += e;
@@ -98,12 +114,18 @@ impl StateMeter {
 
     /// Time spent in `state` so far.
     pub fn time_in(&self, state: &str) -> Dur {
-        self.residency.get(state).map(|&(d, _)| d).unwrap_or(Dur::ZERO)
+        self.residency
+            .get(state)
+            .map(|&(d, _)| d)
+            .unwrap_or(Dur::ZERO)
     }
 
     /// Energy spent dwelling in `state` so far.
     pub fn energy_in(&self, state: &str) -> Joules {
-        self.residency.get(state).map(|&(_, e)| e).unwrap_or(Joules::ZERO)
+        self.residency
+            .get(state)
+            .map(|&(_, e)| e)
+            .unwrap_or(Joules::ZERO)
     }
 
     /// Number of `name` transitions so far.
@@ -113,7 +135,10 @@ impl StateMeter {
 
     /// Energy spent on `name` transitions so far.
     pub fn transition_energy(&self, name: &str) -> Joules {
-        self.transitions.get(name).map(|&(_, e)| e).unwrap_or(Joules::ZERO)
+        self.transitions
+            .get(name)
+            .map(|&(_, e)| e)
+            .unwrap_or(Joules::ZERO)
     }
 
     /// Iterate state residencies in name order.
@@ -193,9 +218,19 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert_eq!(
             log[0],
-            PowerEvent::Dwell { state: "idle", power: Watts(1.6), dur: Dur::from_secs(3) }
+            PowerEvent::Dwell {
+                state: "idle",
+                power: Watts(1.6),
+                dur: Dur::from_secs(3)
+            }
         );
-        assert!(matches!(log[1], PowerEvent::Transition { name: "spin_down", .. }));
+        assert!(matches!(
+            log[1],
+            PowerEvent::Transition {
+                name: "spin_down",
+                ..
+            }
+        ));
         // Log energy equals meter total.
         let log_e: f64 = log
             .iter()

@@ -27,12 +27,20 @@ pub struct DeviceRequest {
 impl DeviceRequest {
     /// Convenience read request.
     pub fn read(bytes: Bytes, block: Option<u64>) -> Self {
-        DeviceRequest { dir: Dir::Read, bytes, block }
+        DeviceRequest {
+            dir: Dir::Read,
+            bytes,
+            block,
+        }
     }
 
     /// Convenience write request.
     pub fn write(bytes: Bytes, block: Option<u64>) -> Self {
-        DeviceRequest { dir: Dir::Write, bytes, block }
+        DeviceRequest {
+            dir: Dir::Write,
+            bytes,
+            block,
+        }
     }
 }
 

@@ -14,8 +14,8 @@
 //! The `spindown` experiment binary runs these on idle periods extracted
 //! from the Table 3 workloads.
 
-use ff_base::{Dur, Joules};
 use crate::disk::DiskParams;
+use ff_base::{Dur, Joules};
 
 /// Energy consumed over one idle period of length `idle` if the disk
 /// spins down after `timeout` of it (and must be spun back up at the end
@@ -56,7 +56,10 @@ pub fn oracle_energy(params: &DiskParams, idles: &[Dur]) -> Joules {
 
 /// Total energy of a fixed-timeout policy over an idle-period stream.
 pub fn fixed_timeout_energy(params: &DiskParams, idles: &[Dur], timeout: Dur) -> Joules {
-    idles.iter().map(|&idle| period_energy(params, idle, timeout)).sum()
+    idles
+        .iter()
+        .map(|&idle| period_energy(params, idle, timeout))
+        .sum()
 }
 
 /// Helmbold et al.'s share-style adaptive timeout: a panel of expert
@@ -88,7 +91,13 @@ impl ShareSpindown {
                 Dur::from_secs_f64(x.exp())
             })
             .collect();
-        ShareSpindown { params, experts, weights: vec![1.0; n], eta: 0.4, alpha: 0.08 }
+        ShareSpindown {
+            params,
+            experts,
+            weights: vec![1.0; n],
+            eta: 0.4,
+            alpha: 0.08,
+        }
     }
 
     /// Default panel for the DK23DA: 16 timeouts from 0.5 s to 60 s.
@@ -150,7 +159,9 @@ impl ShareSpindown {
 /// Extract the disk-relevant idle periods (gaps between consecutive
 /// request completions and next arrivals) from a trace, for feeding the
 /// algorithms above.
-pub fn idle_periods(records: impl Iterator<Item = (ff_base::SimTime, ff_base::SimTime)>) -> Vec<Dur> {
+pub fn idle_periods(
+    records: impl Iterator<Item = (ff_base::SimTime, ff_base::SimTime)>,
+) -> Vec<Dur> {
     let mut out = Vec::new();
     let mut prev_end: Option<ff_base::SimTime> = None;
     for (start, end) in records {
@@ -208,7 +219,13 @@ mod tests {
             vec![be + Dur::from_millis(1); 50],
             // Alternating short/long.
             (0..60)
-                .map(|i| if i % 2 == 0 { Dur::from_secs(1) } else { Dur::from_secs(90) })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Dur::from_secs(1)
+                    } else {
+                        Dur::from_secs(90)
+                    }
+                })
                 .collect(),
             // All long.
             vec![Dur::from_secs(300); 20],
@@ -245,8 +262,7 @@ mod tests {
         let adaptive = share.run(&idles);
 
         // Compare against the best FIXED timeout in hindsight.
-        let candidates: Vec<Dur> =
-            (0..40).map(|i| Dur::from_millis(500 + i * 1_500)).collect();
+        let candidates: Vec<Dur> = (0..40).map(|i| Dur::from_millis(500 + i * 1_500)).collect();
         let best_fixed = candidates
             .iter()
             .map(|&t| fixed_timeout_energy(&params, &idles, t).get())
@@ -275,8 +291,8 @@ mod tests {
     fn idle_periods_from_records() {
         let recs = vec![
             (SimTime::from_secs(0), SimTime::from_secs(1)),
-            (SimTime::from_secs(5), SimTime::from_secs(6)),   // gap 4 s
-            (SimTime::from_secs(6), SimTime::from_secs(7)),   // gap 0 — skipped
+            (SimTime::from_secs(5), SimTime::from_secs(6)), // gap 4 s
+            (SimTime::from_secs(6), SimTime::from_secs(7)), // gap 0 — skipped
             (SimTime::from_secs(30), SimTime::from_secs(31)), // gap 23 s
         ];
         let idles = idle_periods(recs.into_iter());

@@ -25,12 +25,11 @@
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, Dir, PowerModel, ServiceOutcome};
 use ff_base::{BytesPerSec, Dur, Joules, SimTime, Watts};
-use serde::{Deserialize, Serialize};
 
 /// WNIC power/performance constants. Defaults are Table 2 plus the §3.1
 /// prose (800 ms PSM timeout, 11 Mbps) and a 1 ms base latency (the
 /// fixed-latency point of the bandwidth sweep).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WnicParams {
     /// PSM idle power (Table 2: 0.39 W).
     pub psm_idle: Watts,
@@ -146,7 +145,10 @@ impl WnicModel {
 
     /// New card in CAM (for estimator what-if runs).
     pub fn new_cam(params: WnicParams) -> Self {
-        WnicModel { state: WnicState::Cam, ..WnicModel::new(params) }
+        WnicModel {
+            state: WnicState::Cam,
+            ..WnicModel::new(params)
+        }
     }
 
     /// The configured constants.
@@ -203,7 +205,8 @@ impl PowerModel for WnicModel {
                 WnicState::Cam => {
                     let deadline = self.idle_since + self.params.psm_timeout;
                     if now < deadline {
-                        self.meter.dwell("cam_idle", self.params.cam_idle, now - self.clock);
+                        self.meter
+                            .dwell("cam_idle", self.params.cam_idle, now - self.clock);
                         self.clock = now;
                     } else {
                         if self.clock < deadline {
@@ -214,7 +217,8 @@ impl PowerModel for WnicModel {
                             );
                             self.clock = deadline;
                         }
-                        self.meter.transition("cam_to_psm", self.params.to_psm_energy);
+                        self.meter
+                            .transition("cam_to_psm", self.params.to_psm_energy);
                         self.state = WnicState::ToPsm(deadline + self.params.to_psm_time);
                     }
                 }
@@ -227,7 +231,8 @@ impl PowerModel for WnicModel {
                     }
                 }
                 WnicState::Psm => {
-                    self.meter.dwell("psm_idle", self.params.psm_idle, now - self.clock);
+                    self.meter
+                        .dwell("psm_idle", self.params.psm_idle, now - self.clock);
                     self.clock = now;
                 }
                 WnicState::ToCam(until) => {
@@ -257,8 +262,8 @@ impl PowerModel for WnicModel {
             self.advance_to(until);
         }
 
-        let psm_servable = self.state == WnicState::Psm
-            && req.bytes.get() <= self.params.psm_packet_bytes;
+        let psm_servable =
+            self.state == WnicState::Psm && req.bytes.get() <= self.params.psm_packet_bytes;
 
         if psm_servable {
             // Drain the single packet at the next beacon: half a beacon
@@ -269,7 +274,8 @@ impl PowerModel for WnicModel {
             request_energy += self.params.psm_idle * wait;
             self.clock += wait;
 
-            self.meter.dwell("psm_idle", self.params.psm_idle, self.params.latency);
+            self.meter
+                .dwell("psm_idle", self.params.psm_idle, self.params.latency);
             request_energy += self.params.psm_idle * self.params.latency;
             self.clock += self.params.latency;
 
@@ -281,7 +287,8 @@ impl PowerModel for WnicModel {
             // Remains in PSM.
         } else {
             if self.state == WnicState::Psm {
-                self.meter.transition("psm_to_cam", self.params.to_cam_energy);
+                self.meter
+                    .transition("psm_to_cam", self.params.to_cam_energy);
                 request_energy += self.params.to_cam_energy;
                 let until = self.clock + self.params.to_cam_time;
                 self.state = WnicState::ToCam(until);
@@ -290,7 +297,8 @@ impl PowerModel for WnicModel {
             debug_assert_eq!(self.state, WnicState::Cam);
 
             // Round-trip to the server at CAM idle power.
-            self.meter.dwell("cam_idle", self.params.cam_idle, self.params.latency);
+            self.meter
+                .dwell("cam_idle", self.params.cam_idle, self.params.latency);
             request_energy += self.params.cam_idle * self.params.latency;
             self.clock += self.params.latency;
 
@@ -379,7 +387,11 @@ mod tests {
         let out = w.service(SimTime::ZERO, &DeviceRequest::read(Bytes::kib(64), None));
         // 0.4 s switch + 1 ms latency + 64 KiB at 11 Mbps (~47.7 ms).
         assert!(out.service_time >= Dur::from_millis(440));
-        assert!(out.service_time < Dur::from_millis(460), "{}", out.service_time);
+        assert!(
+            out.service_time < Dur::from_millis(460),
+            "{}",
+            out.service_time
+        );
         assert!(out.energy.get() > 0.51);
         assert_eq!(w.state(), WnicState::Cam);
         assert_eq!(w.meter().transition_count("psm_to_cam"), 1);
@@ -400,8 +412,15 @@ mod tests {
     fn back_to_back_requests_stay_in_cam() {
         let mut w = wnic();
         let a = w.service(SimTime::ZERO, &DeviceRequest::read(Bytes::kib(64), None));
-        let b = w.service(a.complete + Dur::from_millis(100), &DeviceRequest::read(Bytes::kib(64), None));
-        assert_eq!(w.meter().transition_count("psm_to_cam"), 1, "only the first pays");
+        let b = w.service(
+            a.complete + Dur::from_millis(100),
+            &DeviceRequest::read(Bytes::kib(64), None),
+        );
+        assert_eq!(
+            w.meter().transition_count("psm_to_cam"),
+            1,
+            "only the first pays"
+        );
         assert!(b.service_time < Dur::from_millis(60));
     }
 
@@ -423,7 +442,10 @@ mod tests {
         let w = wnic();
         let r = w.estimate(SimTime::ZERO, &DeviceRequest::read(Bytes::mib(1), None));
         let wr = w.estimate(SimTime::ZERO, &DeviceRequest::write(Bytes::mib(1), None));
-        assert!(wr.energy > r.energy, "send (3.69 W) must beat recv (2.61 W)");
+        assert!(
+            wr.energy > r.energy,
+            "send (3.69 W) must beat recv (2.61 W)"
+        );
         assert_eq!(wr.service_time, r.service_time);
     }
 
@@ -458,7 +480,10 @@ mod tests {
         // Idle past the timeout so a CAM→PSM switch is in flight at 1 s.
         w.advance_to(SimTime::from_millis(1_000));
         assert!(matches!(w.state(), WnicState::ToPsm(_)));
-        let out = w.service(SimTime::from_millis(1_000), &DeviceRequest::read(Bytes::kib(64), None));
+        let out = w.service(
+            SimTime::from_millis(1_000),
+            &DeviceRequest::read(Bytes::kib(64), None),
+        );
         // Finish ToPsm (ends at 1.21 s), then PSM→CAM 0.4 s, then serve.
         assert!(out.service_time >= Dur::from_millis(610));
     }

@@ -2,9 +2,7 @@
 //! consistency laws that must hold for any request schedule.
 
 use ff_base::{Bytes, Dur, Joules, SimTime};
-use ff_device::{
-    DeviceRequest, Dir, DiskModel, DiskParams, PowerModel, WnicModel, WnicParams,
-};
+use ff_device::{DeviceRequest, Dir, DiskModel, DiskParams, PowerModel, WnicModel, WnicParams};
 use proptest::prelude::*;
 
 /// A random schedule: (gap to next arrival in ms, bytes, read?, block).

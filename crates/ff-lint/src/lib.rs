@@ -1,0 +1,252 @@
+//! # ff-lint — workspace static analysis for the FlexFetch simulator
+//!
+//! A std-only, dependency-free (no `syn`/`quote`; the build environment
+//! is offline) lint pass enforcing the properties the reproduction's
+//! credibility rests on:
+//!
+//! 1. **determinism** — simulation crates must not read wall-clock time,
+//!    ambient RNGs, or iterate unordered hash maps; simulation state
+//!    comes only from `ff_base::rng` (seeded) and `ff_base::time`
+//!    (simulated). A run must be bit-identical given a seed.
+//! 2. **panic-safety** — library code propagates errors instead of
+//!    aborting (`unwrap`/`expect`/`panic!`-family).
+//! 3. **unit-safety** — device/sim hot paths keep quantities in ff-base
+//!    newtypes (`Watts`, `Joules`, `Dur`, `Bytes`) rather than raw `as`
+//!    casts and `f64` seconds.
+//! 4. **float-eq** — no `==`/`!=` against float literals.
+//! 5. **model-invariants** — the hard-coded Hitachi DK23DA and Cisco
+//!    Aironet 350 tables must satisfy the paper's §3 constraints
+//!    (non-negative powers, break-even below the 20 s spin-down
+//!    timeout, 800 ms CAM→PSM below the disk timeout, 802.11b rates).
+//! 6. **hygiene** — inventory of open-work markers and `#[allow]`
+//!    suppressions.
+//!
+//! Findings ratchet against a committed [`baseline`]: the run fails only
+//! on findings the baseline does not accept, so existing debt is
+//! tracked without blocking the build, while regressions are.
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+
+pub use baseline::{Baseline, Delta};
+pub use rules::{Finding, Rule};
+pub use scan::{FileKind, SourceFile};
+
+use ff_base::json::Value;
+use ff_base::{Error, Result};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// The result of one lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Every finding, baselined or not, in (rule, file, line) order.
+    pub findings: Vec<Finding>,
+    /// Comparison against the baseline used for the run.
+    pub delta: Delta,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Exit status the CLI should report: clean means nothing beyond
+    /// the baseline.
+    pub fn is_clean(&self) -> bool {
+        self.delta.is_clean()
+    }
+
+    /// Findings belonging to one rule family.
+    pub fn findings_for(&self, rule: Rule) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.rule == rule)
+    }
+
+    /// Render the human-readable table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for rule in Rule::all() {
+            let members: Vec<&Finding> = self.findings_for(rule).collect();
+            if members.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "{} ({} finding(s))", rule, members.len());
+            let width = members
+                .iter()
+                .map(|f| f.file.len() + 1 + digits(f.line))
+                .max()
+                .unwrap_or(0);
+            for f in &members {
+                let loc = format!("{}:{}", f.file, f.line);
+                let _ = writeln!(out, "  {loc:<width$}  {:<14} {}", f.token, f.message);
+            }
+        }
+        let new = self.delta.new_count();
+        let _ = writeln!(
+            out,
+            "{} file(s) scanned, {} finding(s), {} beyond baseline{}",
+            self.files_scanned,
+            self.findings.len(),
+            new,
+            if new == 0 { " — OK" } else { "" },
+        );
+        if !self.delta.new.is_empty() {
+            let _ = writeln!(out, "\nnew findings (not in baseline):");
+            for (key, over, members) in &self.delta.new {
+                let _ = writeln!(
+                    out,
+                    "  {} {} `{}`: {} over baseline; occurrences:",
+                    key.0, key.1, key.2, over
+                );
+                for f in members {
+                    let _ = writeln!(out, "    {}:{} {}", f.file, f.line, f.message);
+                }
+            }
+        }
+        if !self.delta.improved.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n{} baseline entr(ies) improved — consider --update-baseline",
+                self.delta.improved.len()
+            );
+        }
+        out
+    }
+
+    /// Render the machine-readable JSON document.
+    pub fn to_json(&self) -> String {
+        let finding_node = |f: &Finding| {
+            Value::Object(vec![
+                ("rule".into(), Value::Str(f.rule.as_str().into())),
+                ("file".into(), Value::Str(f.file.clone())),
+                ("line".into(), Value::UInt(f.line as u64)),
+                ("token".into(), Value::Str(f.token.clone())),
+                ("message".into(), Value::Str(f.message.clone())),
+            ])
+        };
+        let per_rule: Vec<Value> = Rule::all()
+            .into_iter()
+            .map(|r| {
+                Value::Object(vec![
+                    ("rule".into(), Value::Str(r.as_str().into())),
+                    (
+                        "count".into(),
+                        Value::UInt(self.findings_for(r).count() as u64),
+                    ),
+                ])
+            })
+            .collect();
+        let new: Vec<Value> = self
+            .delta
+            .new
+            .iter()
+            .flat_map(|(_, _, members)| members.iter().map(finding_node))
+            .collect();
+        let doc = Value::Object(vec![
+            (
+                "summary".into(),
+                Value::Object(vec![
+                    (
+                        "files_scanned".into(),
+                        Value::UInt(self.files_scanned as u64),
+                    ),
+                    ("total".into(), Value::UInt(self.findings.len() as u64)),
+                    (
+                        "beyond_baseline".into(),
+                        Value::UInt(self.delta.new_count()),
+                    ),
+                    ("clean".into(), Value::Bool(self.is_clean())),
+                    ("by_rule".into(), Value::Array(per_rule)),
+                ]),
+            ),
+            ("new".into(), Value::Array(new)),
+            (
+                "findings".into(),
+                Value::Array(self.findings.iter().map(finding_node).collect()),
+            ),
+        ]);
+        let mut text = doc.to_pretty();
+        text.push('\n');
+        text
+    }
+}
+
+fn digits(mut n: usize) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// Scan the workspace under `root` and produce all findings.
+pub fn collect_findings(root: &Path) -> Result<(Vec<Finding>, usize)> {
+    let sources = scan::collect_sources(root)
+        .map_err(|e| Error::Io(format!("scanning {}: {e}", root.display())))?;
+    if sources.is_empty() {
+        return Err(Error::Config(format!(
+            "no Rust sources found under {} — wrong --root?",
+            root.display()
+        )));
+    }
+    let findings = rules::run_all(&sources);
+    Ok((findings, sources.len()))
+}
+
+/// Scan and compare against a baseline in one step.
+pub fn run(root: &Path, baseline: &Baseline) -> Result<Report> {
+    let (findings, files_scanned) = collect_findings(root)?;
+    let delta = baseline.compare(&findings);
+    Ok(Report {
+        findings,
+        delta,
+        files_scanned,
+    })
+}
+
+/// The workspace root this crate was built in (ff-lint lives at
+/// `crates/ff-lint`).
+pub fn default_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// The committed baseline path for a workspace root.
+pub fn default_baseline_path(root: &Path) -> std::path::PathBuf {
+    root.join("crates/ff-lint/baseline.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_scan_finds_sources_and_is_deterministic() {
+        let root = default_root();
+        let (a, n) = collect_findings(&root).expect("scan ok");
+        let (b, _) = collect_findings(&root).expect("scan ok");
+        assert!(n > 20, "expected a real workspace, scanned {n} files");
+        assert_eq!(a, b, "two scans of the same tree must agree");
+    }
+
+    #[test]
+    fn report_renders_both_formats() {
+        let root = default_root();
+        let (findings, files_scanned) = collect_findings(&root).expect("scan ok");
+        let baseline = Baseline::from_findings(&findings);
+        let delta = baseline.compare(&findings);
+        let report = Report {
+            findings,
+            delta,
+            files_scanned,
+        };
+        assert!(report.is_clean());
+        let table = report.to_table();
+        assert!(table.contains("beyond baseline"));
+        let json = report.to_json();
+        let doc = ff_base::json::Value::parse(&json).expect("valid json");
+        assert_eq!(
+            doc.get("summary").and_then(|s| s.get("clean")),
+            Some(&ff_base::json::Value::Bool(true))
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! `ff-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ff-lint -- [--json] [--root PATH] [--baseline PATH] [--update-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (no findings beyond the baseline), `1` new
+//! findings, `2` usage or I/O error.
+
+use ff_lint::{default_baseline_path, default_root, Baseline};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    json: bool,
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        root: default_root(),
+        baseline: None,
+        update_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root requires a path argument")?);
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline requires a path")?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+const USAGE: &str = "\
+ff-lint: static analysis for the FlexFetch workspace
+
+USAGE:
+    ff-lint [--json] [--root PATH] [--baseline PATH] [--update-baseline]
+
+OPTIONS:
+    --json              emit the machine-readable JSON report on stdout
+    --root PATH         workspace root to scan (default: this workspace)
+    --baseline PATH     ratchet file (default: crates/ff-lint/baseline.json)
+    --update-baseline   rewrite the baseline to accept the current state
+";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| default_baseline_path(&args.root));
+
+    if args.update_baseline {
+        let findings = match ff_lint::collect_findings(&args.root) {
+            Ok((f, _)) => f,
+            Err(e) => {
+                eprintln!("ff-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let baseline = Baseline::from_findings(&findings);
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("ff-lint: writing {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "ff-lint: baseline updated — {} key(s) covering {} finding(s) at {}",
+            baseline.len(),
+            findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // A missing baseline file means "empty baseline": everything is new.
+    // That makes a fresh checkout fail loudly instead of silently
+    // accepting all debt, and lets tests point --baseline at /dev/null‑
+    // style paths to see the full inventory.
+    let baseline = if baseline_path.exists() {
+        match Baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("ff-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        eprintln!(
+            "ff-lint: baseline {} not found; comparing against an empty baseline",
+            baseline_path.display()
+        );
+        Baseline::empty()
+    };
+
+    let report = match ff_lint::run(&args.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ff-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_table());
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

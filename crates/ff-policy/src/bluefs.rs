@@ -43,7 +43,10 @@ impl BlueFs {
 
     /// Override the ghost-hint threshold (ablation).
     pub fn with_threshold(threshold: Joules) -> Self {
-        BlueFs { threshold, ..BlueFs::new() }
+        BlueFs {
+            threshold,
+            ..BlueFs::new()
+        }
     }
 
     /// Override the disk spin-down timeout (ablation: an energy-adaptive
@@ -151,14 +154,22 @@ mod tests {
 
     fn world(disk_standby: bool) -> World {
         let mut fs = FileSet::new();
-        fs.insert(FileMeta { id: FileId(1), name: "f".into(), size: Bytes::mib(100) });
+        fs.insert(FileMeta {
+            id: FileId(1),
+            name: "f".into(),
+            size: Bytes::mib(100),
+        });
         let layout = DiskLayout::build(&fs, 1);
         let disk = if disk_standby {
             DiskModel::new_standby(DiskParams::hitachi_dk23da())
         } else {
             DiskModel::new(DiskParams::hitachi_dk23da())
         };
-        World { disk, wnic: WnicModel::new(WnicParams::cisco_aironet350()), layout }
+        World {
+            disk,
+            wnic: WnicModel::new(WnicParams::cisco_aironet350()),
+            layout,
+        }
     }
 
     fn ctx<'a>(w: &'a World, resident: &'a dyn Fn(FileId, u64, Bytes) -> f64) -> PolicyCtx<'a> {
@@ -172,7 +183,12 @@ mod tests {
     }
 
     fn req(len: u64) -> AppRequest {
-        AppRequest { file: FileId(1), op: IoOp::Read, offset: 0, len: Bytes(len) }
+        AppRequest {
+            file: FileId(1),
+            op: IoOp::Read,
+            offset: 0,
+            len: Bytes(len),
+        }
     }
 
     #[test]
@@ -201,9 +217,7 @@ mod tests {
         let r = req(len);
         let src = p.select(&c, &r);
         if src == Source::Wnic {
-            let est = w
-                .wnic
-                .estimate(SimTime::ZERO, &BlueFs::to_dev(&r, None));
+            let est = w.wnic.estimate(SimTime::ZERO, &BlueFs::to_dev(&r, None));
             let out = ff_device::ServiceOutcome {
                 complete: est.complete,
                 service_time: est.service_time,

@@ -53,7 +53,12 @@ mod tests {
     }
 
     fn req() -> AppRequest {
-        AppRequest { file: FileId(1), op: IoOp::Read, offset: 0, len: Bytes(4096) }
+        AppRequest {
+            file: FileId(1),
+            op: IoOp::Read,
+            offset: 0,
+            len: Bytes(4096),
+        }
     }
 
     #[test]

@@ -115,7 +115,13 @@ impl FlexFetch {
     /// The paper's FlexFetch-static baseline (§3.3.4): same profile-based
     /// decisions, no run-time adaptation.
     pub fn new_static(profile: Profile) -> Self {
-        FlexFetch::new(profile, FlexFetchConfig { adaptive: false, ..Default::default() })
+        FlexFetch::new(
+            profile,
+            FlexFetchConfig {
+                adaptive: false,
+                ..Default::default()
+            },
+        )
     }
 
     /// Current stage decision (inspection hook).
@@ -228,7 +234,14 @@ impl Policy for FlexFetch {
         outcome: &ServiceOutcome,
     ) {
         let start = outcome.complete - outcome.service_time;
-        self.online.observe(start, outcome.complete, req.file, req.op, req.offset, req.len);
+        self.online.observe(
+            start,
+            outcome.complete,
+            req.file,
+            req.op,
+            req.offset,
+            req.len,
+        );
         if !self.config.adaptive {
             return;
         }
@@ -237,8 +250,8 @@ impl Policy for FlexFetch {
         // profiled bursts → splice and re-run the rules. Suspended while
         // a stage-end audit override is active (the profile was proven
         // ineffective; measurements drive until it recovers).
-        let bytes: Bytes = self.online.observed_bytes()
-            + self.observed.iter().map(|b| b.burst.bytes()).sum();
+        let bytes: Bytes =
+            self.online.observed_bytes() + self.observed.iter().map(|b| b.burst.bytes()).sum();
         let n = self.old_profile.bursts_covering(bytes);
         if n > self.last_n && !self.old_profile.is_empty() {
             self.last_n = n;
@@ -318,10 +331,13 @@ impl Policy for FlexFetch {
         let flip = winner != self.current && (dominates || energy_margin || time_margin);
 
         let stage = self.upcoming_stage(self.last_n);
-        let profile_choice =
-            (!stage.is_empty()).then(|| self.decide_for(ctx, &stage));
+        let profile_choice = (!stage.is_empty()).then(|| self.decide_for(ctx, &stage));
         let new = if flip { winner } else { self.current };
-        self.set_current(ctx.now, new, if flip { "audit:flip" } else { "audit:confirm" });
+        self.set_current(
+            ctx.now,
+            new,
+            if flip { "audit:flip" } else { "audit:confirm" },
+        );
         self.forced = match profile_choice {
             Some(pc) if pc == new => None,
             _ => Some(new),
@@ -336,7 +352,10 @@ impl Policy for FlexFetch {
         self.sync_observed();
         let mut bursts = std::mem::take(&mut self.observed);
         bursts.extend(self.online.flush());
-        Some(Profile { app: self.old_profile.app.clone(), bursts })
+        Some(Profile {
+            app: self.old_profile.app.clone(),
+            bursts,
+        })
     }
 }
 
@@ -356,7 +375,11 @@ mod tests {
 
     fn world() -> World {
         let mut fs = FileSet::new();
-        fs.insert(FileMeta { id: FileId(1), name: "f".into(), size: Bytes::mib(400) });
+        fs.insert(FileMeta {
+            id: FileId(1),
+            name: "f".into(),
+            size: Bytes::mib(400),
+        });
         World {
             disk: DiskModel::new(DiskParams::hitachi_dk23da()),
             wnic: WnicModel::new(WnicParams::cisco_aironet350()),
@@ -369,7 +392,13 @@ mod tests {
         now: SimTime,
         resident: &'a dyn Fn(FileId, u64, Bytes) -> f64,
     ) -> PolicyCtx<'a> {
-        PolicyCtx { now, disk: &w.disk, wnic: &w.wnic, layout: &w.layout, resident }
+        PolicyCtx {
+            now,
+            disk: &w.disk,
+            wnic: &w.wnic,
+            layout: &w.layout,
+            resident,
+        }
     }
 
     fn pb(start_ms: u64, dur_ms: u64, gap_ms: u64, bytes: u64) -> ProfiledBurst {
@@ -410,7 +439,10 @@ mod tests {
                 b
             })
             .collect();
-        Profile { app: "stream".into(), bursts }
+        Profile {
+            app: "stream".into(),
+            bursts,
+        }
     }
 
     fn nores(_: FileId, _: u64, _: Bytes) -> f64 {
@@ -418,21 +450,32 @@ mod tests {
     }
 
     fn any_req() -> AppRequest {
-        AppRequest { file: FileId(1), op: IoOp::Read, offset: 0, len: Bytes(65_536) }
+        AppRequest {
+            file: FileId(1),
+            op: IoOp::Read,
+            offset: 0,
+            len: Bytes(65_536),
+        }
     }
 
     #[test]
     fn bursty_profile_selects_disk() {
         let w = world();
         let mut p = FlexFetch::new(bursty_profile(), FlexFetchConfig::default());
-        assert_eq!(p.select(&ctx(&w, SimTime::ZERO, &nores), &any_req()), Source::Disk);
+        assert_eq!(
+            p.select(&ctx(&w, SimTime::ZERO, &nores), &any_req()),
+            Source::Disk
+        );
     }
 
     #[test]
     fn intermittent_profile_selects_wnic() {
         let w = world();
         let mut p = FlexFetch::new(intermittent_profile(), FlexFetchConfig::default());
-        assert_eq!(p.select(&ctx(&w, SimTime::ZERO, &nores), &any_req()), Source::Wnic);
+        assert_eq!(
+            p.select(&ctx(&w, SimTime::ZERO, &nores), &any_req()),
+            Source::Wnic
+        );
     }
 
     #[test]
@@ -494,7 +537,11 @@ mod tests {
             wnic_energy: Joules(400.0), // measured: WNIC was expensive
         };
         p.on_stage_end(&c, &report);
-        assert_eq!(p.current_source(), Source::Disk, "audit must switch to the disk");
+        assert_eq!(
+            p.current_source(),
+            Source::Disk,
+            "audit must switch to the disk"
+        );
     }
 
     #[test]
@@ -523,7 +570,10 @@ mod tests {
         // rules would send to the disk.
         let mut bursts = vec![pb(0, 10, 1_000, 100_000)];
         bursts.push(pb(2_000, 500, 0, 80_000_000));
-        let profile = Profile { app: "x".into(), bursts };
+        let profile = Profile {
+            app: "x".into(),
+            bursts,
+        };
         let mut p = FlexFetch::new(profile, FlexFetchConfig::default());
         let c = ctx(&w, SimTime::ZERO, &nores);
         let initial = p.select(&c, &any_req());
@@ -623,7 +673,10 @@ mod tests {
             t += 6_005;
         }
         bursts.push(pb(t, 2_000, 0, 80_000_000)); // dense tail
-        let profile = Profile { app: "two-phase".into(), bursts };
+        let profile = Profile {
+            app: "two-phase".into(),
+            bursts,
+        };
         let mut p = FlexFetch::new_static(profile);
         let c = ctx(&w, SimTime::ZERO, &nores);
         assert_eq!(p.select(&c, &any_req()), Source::Wnic, "stage 1 is sparse");
@@ -678,7 +731,10 @@ mod tests {
         // check that a fully-resident profile yields no device work, so
         // the previous (default disk) choice is kept rather than computed.
         let allres = |_: FileId, _: u64, _: Bytes| 1.0;
-        let profile = Profile { app: "c".into(), bursts: vec![pb(0, 5, 0, 1_000_000)] };
+        let profile = Profile {
+            app: "c".into(),
+            bursts: vec![pb(0, 5, 0, 1_000_000)],
+        };
         let mut p = FlexFetch::new(profile, FlexFetchConfig::default());
         let c = ctx(&w, SimTime::ZERO, &allres);
         // Fully resident single burst with zero gap → filtered to nothing

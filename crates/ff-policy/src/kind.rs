@@ -28,14 +28,20 @@ impl PolicyKind {
     /// Adaptive FlexFetch with the paper's defaults (25 % loss rate,
     /// 40 s stages).
     pub fn flexfetch(profile: Profile) -> Self {
-        PolicyKind::FlexFetch { profile, config: FlexFetchConfig::default() }
+        PolicyKind::FlexFetch {
+            profile,
+            config: FlexFetchConfig::default(),
+        }
     }
 
     /// FlexFetch-static (§3.3.4): profile-driven, no run-time adaptation.
     pub fn flexfetch_static(profile: Profile) -> Self {
         PolicyKind::FlexFetch {
             profile,
-            config: FlexFetchConfig { adaptive: false, ..Default::default() },
+            config: FlexFetchConfig {
+                adaptive: false,
+                ..Default::default()
+            },
         }
     }
 

@@ -43,7 +43,9 @@ pub fn plan_oracle(
 ) -> OraclePlan {
     let stages = true_profile.stages(stage_len);
     if stages.is_empty() {
-        return OraclePlan { per_stage: vec![Source::Disk] };
+        return OraclePlan {
+            per_stage: vec![Source::Disk],
+        };
     }
     let est = Estimator::new(layout);
 
@@ -115,8 +117,7 @@ pub fn plan_oracle(
                 energy: w.energy.get(),
                 time: w.time.as_secs_f64(),
                 extra: idle_disk.energy().get(),
-                disk_up_after: start_up
-                    && w.time.as_secs_f64() < disk_params.timeout.as_secs_f64(),
+                disk_up_after: start_up && w.time.as_secs_f64() < disk_params.timeout.as_secs_f64(),
             };
         }
     }
@@ -193,7 +194,14 @@ impl Oracle {
         stage_len: Dur,
         loss_rate: f64,
     ) -> Self {
-        Oracle::new(plan_oracle(true_profile, layout, disk, wnic, stage_len, loss_rate))
+        Oracle::new(plan_oracle(
+            true_profile,
+            layout,
+            disk,
+            wnic,
+            stage_len,
+            loss_rate,
+        ))
     }
 
     /// The planned choices.
@@ -240,7 +248,11 @@ mod tests {
     fn bursty_run_plans_disk() {
         let t = Grep::default().build(1);
         let plan = plan_for(&t);
-        assert_eq!(plan.per_stage[0], Source::Disk, "grep's dense burst belongs on disk");
+        assert_eq!(
+            plan.per_stage[0],
+            Source::Disk,
+            "grep's dense burst belongs on disk"
+        );
     }
 
     #[test]
@@ -251,8 +263,11 @@ mod tests {
         }
         .build(1);
         let plan = plan_for(&t);
-        let wnic_stages =
-            plan.per_stage.iter().filter(|&&s| s == Source::Wnic).count();
+        let wnic_stages = plan
+            .per_stage
+            .iter()
+            .filter(|&&s| s == Source::Wnic)
+            .count();
         assert!(
             wnic_stages * 2 > plan.per_stage.len(),
             "paced streaming belongs on the WNIC: {:?}",
@@ -287,8 +302,9 @@ mod tests {
 
     #[test]
     fn policy_walks_the_plan() {
-        let plan =
-            OraclePlan { per_stage: vec![Source::Disk, Source::Wnic, Source::Disk] };
+        let plan = OraclePlan {
+            per_stage: vec![Source::Disk, Source::Wnic, Source::Disk],
+        };
         let mut p = Oracle::new(plan);
         assert_eq!(p.name(), "Oracle");
         // Fake stage advance without a ctx: on_stage_end only counts.

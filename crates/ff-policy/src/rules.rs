@@ -47,7 +47,10 @@ mod tests {
     use ff_base::{Dur, Joules};
 
     fn est(secs: f64, joules: f64) -> Estimate {
-        Estimate { time: Dur::from_secs_f64(secs), energy: Joules(joules) }
+        Estimate {
+            time: Dur::from_secs_f64(secs),
+            energy: Joules(joules),
+        }
     }
 
     #[test]

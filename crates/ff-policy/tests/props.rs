@@ -6,7 +6,10 @@ use ff_profile::Estimate;
 use proptest::prelude::*;
 
 fn est(t_us: u64, e: f64) -> Estimate {
-    Estimate { time: Dur(t_us), energy: Joules(e) }
+    Estimate {
+        time: Dur(t_us),
+        energy: Joules(e),
+    }
 }
 
 proptest! {

@@ -9,10 +9,9 @@
 
 use ff_base::{Bytes, Dur, SimTime};
 use ff_trace::{FileId, IoOp, Trace, TraceRecord};
-use serde::{Deserialize, Serialize};
 
 /// One merged request inside a burst.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MergedRequest {
     /// The file accessed.
     pub file: FileId,
@@ -32,7 +31,7 @@ impl MergedRequest {
 }
 
 /// A sequence of system calls with sub-threshold think gaps.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IoBurst {
     /// Issue time of the first call (collection run).
     pub start: SimTime,
@@ -65,7 +64,7 @@ impl IoBurst {
 }
 
 /// A burst plus the think time separating it from the next one.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfiledBurst {
     /// The burst.
     pub burst: IoBurst,
@@ -93,7 +92,10 @@ pub struct BurstExtractor {
 
 impl Default for BurstExtractor {
     fn default() -> Self {
-        BurstExtractor { threshold: Dur::from_millis(20), merge_window: Bytes::kib(128) }
+        BurstExtractor {
+            threshold: Dur::from_millis(20),
+            merge_window: Bytes::kib(128),
+        }
     }
 }
 
@@ -107,10 +109,13 @@ impl BurstExtractor {
 
         for rec in &trace.records {
             let gap = rec.ts.saturating_since(prev_end);
-            let splits = current.is_some() && gap >= self.threshold;
-            if splits {
-                let burst = current.take().expect("checked is_some");
-                out.push(ProfiledBurst { burst, gap_after: gap });
+            if gap >= self.threshold {
+                if let Some(burst) = current.take() {
+                    out.push(ProfiledBurst {
+                        burst,
+                        gap_after: gap,
+                    });
+                }
             }
             match &mut current {
                 Some(burst) => {
@@ -128,14 +133,22 @@ impl BurstExtractor {
             prev_end = rec.end();
         }
         if let Some(burst) = current {
-            out.push(ProfiledBurst { burst, gap_after: Dur::ZERO });
+            out.push(ProfiledBurst {
+                burst,
+                gap_after: Dur::ZERO,
+            });
         }
         out
     }
 }
 
 fn to_merged(rec: &TraceRecord) -> MergedRequest {
-    MergedRequest { file: rec.file, op: rec.op, offset: rec.offset, len: rec.len }
+    MergedRequest {
+        file: rec.file,
+        op: rec.op,
+        offset: rec.offset,
+        len: rec.len,
+    }
 }
 
 /// Merge `rec` into the last request if it sequentially extends it (same
@@ -181,19 +194,31 @@ impl OnlineBurstBuilder {
         len: Bytes,
     ) {
         let gap = start.saturating_since(self.prev_end);
-        if self.current.is_some() && gap >= self.params.threshold {
-            let burst = self.current.take().expect("checked is_some");
-            self.completed.push(ProfiledBurst { burst, gap_after: gap });
+        if gap >= self.params.threshold {
+            if let Some(burst) = self.current.take() {
+                self.completed.push(ProfiledBurst {
+                    burst,
+                    gap_after: gap,
+                });
+            }
         }
-        let rec = MergedRequest { file, op, offset, len };
+        let rec = MergedRequest {
+            file,
+            op,
+            offset,
+            len,
+        };
         match &mut self.current {
             Some(burst) => {
                 burst.end = end.max(burst.end);
                 push_merged(&mut burst.requests, rec, self.params.merge_window);
             }
             None => {
-                self.current =
-                    Some(IoBurst { start, end, requests: vec![rec] });
+                self.current = Some(IoBurst {
+                    start,
+                    end,
+                    requests: vec![rec],
+                });
             }
         }
         self.prev_end = self.prev_end.max(end);
@@ -209,7 +234,10 @@ impl OnlineBurstBuilder {
     /// split and the finished part becomes visible to the stage's audit.
     pub fn split_now(&mut self) {
         if let Some(burst) = self.current.take() {
-            self.completed.push(ProfiledBurst { burst, gap_after: Dur::ZERO });
+            self.completed.push(ProfiledBurst {
+                burst,
+                gap_after: Dur::ZERO,
+            });
         }
     }
 
@@ -217,7 +245,10 @@ impl OnlineBurstBuilder {
     pub fn flush(&mut self) -> Vec<ProfiledBurst> {
         let mut out = std::mem::take(&mut self.completed);
         if let Some(burst) = self.current.take() {
-            out.push(ProfiledBurst { burst, gap_after: Dur::ZERO });
+            out.push(ProfiledBurst {
+                burst,
+                gap_after: Dur::ZERO,
+            });
         }
         out
     }
@@ -225,15 +256,19 @@ impl OnlineBurstBuilder {
     /// Bytes observed so far (closed + open bursts).
     pub fn observed_bytes(&self) -> Bytes {
         let closed: Bytes = self.completed.iter().map(|b| b.burst.bytes()).sum();
-        closed + self.current.as_ref().map(|b| b.bytes()).unwrap_or(Bytes::ZERO)
+        closed
+            + self
+                .current
+                .as_ref()
+                .map(|b| b.bytes())
+                .unwrap_or(Bytes::ZERO)
     }
 }
 
 fn push_merged(reqs: &mut Vec<MergedRequest>, rec: MergedRequest, window: Bytes) {
     if let Some(last) = reqs.last_mut() {
-        let contiguous = last.file == rec.file
-            && last.op == rec.op
-            && last.end_offset() == rec.offset;
+        let contiguous =
+            last.file == rec.file && last.op == rec.op && last.end_offset() == rec.offset;
         if contiguous && last.len.get() + rec.len.get() <= window.get() {
             last.len += rec.len;
             return;
@@ -263,7 +298,11 @@ mod tests {
     fn trace(records: Vec<TraceRecord>) -> Trace {
         // Tests here don't need a valid file set; extraction never looks
         // at file metadata.
-        Trace { name: "t".into(), files: Default::default(), records }
+        Trace {
+            name: "t".into(),
+            files: Default::default(),
+            records,
+        }
     }
 
     #[test]
@@ -297,7 +336,10 @@ mod tests {
         // Call takes 30 ms; next call starts 5 ms after it ENDS. The
         // inter-call distance from issue to issue is 35 ms but the think
         // time is only 5 ms — same burst.
-        let t = trace(vec![rec(0, 30_000, 1, 0, 1000), rec(35_000, 100, 1, 1000, 1000)]);
+        let t = trace(vec![
+            rec(0, 30_000, 1, 0, 1000),
+            rec(35_000, 100, 1, 1000, 1000),
+        ]);
         let bursts = BurstExtractor::default().extract(&t);
         assert_eq!(bursts.len(), 1);
     }
@@ -318,8 +360,9 @@ mod tests {
     fn merge_caps_at_window() {
         let window = Bytes::kib(128);
         // 40 sequential 4 KiB reads = 160 KiB > 128 KiB window.
-        let records: Vec<_> =
-            (0..40).map(|i| rec(i * 20, 10, 1, i * 4096, 4096)).collect();
+        let records: Vec<_> = (0..40)
+            .map(|i| rec(i * 20, 10, 1, i * 4096, 4096))
+            .collect();
         let bursts = BurstExtractor::default().extract(&trace(records));
         let reqs = &bursts[0].burst.requests;
         assert_eq!(reqs.len(), 2);
@@ -361,7 +404,10 @@ mod tests {
         ]);
         let bursts = BurstExtractor::default().extract(&t);
         assert_eq!(bursts[0].burst.duration(), Dur::from_millis(1));
-        assert_eq!(bursts[0].span(), Dur::from_micros(1000) + Dur::from_micros(29_000));
+        assert_eq!(
+            bursts[0].span(),
+            Dur::from_micros(1000) + Dur::from_micros(29_000)
+        );
         assert_eq!(bursts[1].burst.bytes(), Bytes(700));
     }
 
@@ -388,10 +434,24 @@ mod tests {
     #[test]
     fn online_builder_tracks_bytes_and_drains() {
         let mut b = OnlineBurstBuilder::new(BurstExtractor::default());
-        b.observe(SimTime(0), SimTime(10), FileId(1), IoOp::Read, 0, Bytes(100));
+        b.observe(
+            SimTime(0),
+            SimTime(10),
+            FileId(1),
+            IoOp::Read,
+            0,
+            Bytes(100),
+        );
         assert_eq!(b.observed_bytes(), Bytes(100));
         // Big gap closes the first burst.
-        b.observe(SimTime(100_000), SimTime(100_010), FileId(1), IoOp::Read, 100, Bytes(50));
+        b.observe(
+            SimTime(100_000),
+            SimTime(100_010),
+            FileId(1),
+            IoOp::Read,
+            100,
+            Bytes(50),
+        );
         assert_eq!(b.observed_bytes(), Bytes(150));
         let closed = b.take_completed();
         assert_eq!(closed.len(), 1);
@@ -406,14 +466,28 @@ mod tests {
     #[test]
     fn split_now_closes_the_open_burst() {
         let mut b = OnlineBurstBuilder::new(BurstExtractor::default());
-        b.observe(SimTime(0), SimTime(10), FileId(1), IoOp::Read, 0, Bytes(100));
+        b.observe(
+            SimTime(0),
+            SimTime(10),
+            FileId(1),
+            IoOp::Read,
+            0,
+            Bytes(100),
+        );
         assert!(b.take_completed().is_empty(), "burst still open");
         b.split_now();
         let closed = b.take_completed();
         assert_eq!(closed.len(), 1);
         assert_eq!(closed[0].gap_after, Dur::ZERO);
         // Continuing I/O starts a fresh burst.
-        b.observe(SimTime(20), SimTime(30), FileId(1), IoOp::Read, 100, Bytes(50));
+        b.observe(
+            SimTime(20),
+            SimTime(30),
+            FileId(1),
+            IoOp::Read,
+            100,
+            Bytes(50),
+        );
         b.split_now();
         assert_eq!(b.take_completed().len(), 1);
         assert_eq!(b.observed_bytes(), Bytes::ZERO);
@@ -423,12 +497,29 @@ mod tests {
     fn grep_trace_is_one_burst_make_is_many() {
         use ff_trace::{Grep, Make, Workload};
         let x = BurstExtractor::default();
-        let grep = x.extract(&Grep { files: 50, total_bytes: 2_000_000, ..Default::default() }.build(1));
+        let grep = x.extract(
+            &Grep {
+                files: 50,
+                total_bytes: 2_000_000,
+                ..Default::default()
+            }
+            .build(1),
+        );
         assert_eq!(grep.len(), 1, "grep must profile as a single burst");
         let make = x.extract(
-            &Make { units: 10, headers: 20, misc: 2, input_bytes: 1_000_000, ..Default::default() }
-                .build(1),
+            &Make {
+                units: 10,
+                headers: 20,
+                misc: 2,
+                input_bytes: 1_000_000,
+                ..Default::default()
+            }
+            .build(1),
         );
-        assert!(make.len() > 10, "make must profile as many bursts, got {}", make.len());
+        assert!(
+            make.len() > 10,
+            "make must profile as many bursts, got {}",
+            make.len()
+        );
     }
 }

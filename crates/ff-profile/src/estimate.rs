@@ -50,7 +50,10 @@ impl<'a> Estimator<'a> {
     /// is — the idle tail is a direct consequence of the decision.
     pub fn disk_cost(&self, bursts: &[ProfiledBurst], mut disk: DiskModel) -> Estimate {
         if bursts.is_empty() {
-            return Estimate { time: Dur::ZERO, energy: Joules::ZERO };
+            return Estimate {
+                time: Dur::ZERO,
+                energy: Joules::ZERO,
+            };
         }
         disk.reset_meter();
         let start = disk.clock();
@@ -72,22 +75,31 @@ impl<'a> Estimator<'a> {
         // Park: run out the idle timeout and the spin-down transient.
         let park = disk.params().timeout + disk.params().spindown_time + Dur::from_millis(1);
         disk.advance_to(t + park);
-        Estimate { time, energy: disk.energy() }
+        Estimate {
+            time,
+            energy: disk.energy(),
+        }
     }
 
     /// `(T_network, E_network)` for servicing `bursts` on `wnic`.
     /// Includes the parking cost (CAM idle-out plus the CAM→PSM switch).
     pub fn wnic_cost(&self, bursts: &[ProfiledBurst], mut wnic: WnicModel) -> Estimate {
         if bursts.is_empty() {
-            return Estimate { time: Dur::ZERO, energy: Joules::ZERO };
+            return Estimate {
+                time: Dur::ZERO,
+                energy: Joules::ZERO,
+            };
         }
         wnic.reset_meter();
         let start = wnic.clock();
         let mut t = start;
         for pb in bursts {
             for req in &pb.burst.requests {
-                let dev_req =
-                    DeviceRequest { dir: to_dir(req.op), bytes: req.len, block: None };
+                let dev_req = DeviceRequest {
+                    dir: to_dir(req.op),
+                    bytes: req.len,
+                    block: None,
+                };
                 let out = wnic.service(t, &dev_req);
                 t = out.complete;
             }
@@ -95,10 +107,12 @@ impl<'a> Estimator<'a> {
             wnic.advance_to(t);
         }
         let time = t.saturating_since(start);
-        let park =
-            wnic.params().psm_timeout + wnic.params().to_psm_time + Dur::from_millis(1);
+        let park = wnic.params().psm_timeout + wnic.params().to_psm_time + Dur::from_millis(1);
         wnic.advance_to(t + park);
-        Estimate { time, energy: wnic.energy() }
+        Estimate {
+            time,
+            energy: wnic.energy(),
+        }
     }
 }
 
@@ -117,7 +131,10 @@ impl<'a> Estimator<'a> {
         wnic.reset_meter();
         let end = wnic.clock() + serving.time;
         wnic.advance_to(end);
-        Estimate { time: serving.time, energy: serving.energy + wnic.energy() }
+        Estimate {
+            time: serving.time,
+            energy: serving.energy + wnic.energy(),
+        }
     }
 
     /// System-level `(T, E)` of the **network option**: the WNIC serves
@@ -133,7 +150,10 @@ impl<'a> Estimator<'a> {
         disk.reset_meter();
         let end = disk.clock() + serving.time;
         disk.advance_to(end);
-        Estimate { time: serving.time, energy: serving.energy + disk.energy() }
+        Estimate {
+            time: serving.time,
+            energy: serving.energy + disk.energy(),
+        }
     }
 }
 
@@ -181,7 +201,11 @@ mod tests {
 
     fn layout_for(file: u64, size: u64) -> (FileSet, DiskLayout) {
         let mut fs = FileSet::new();
-        fs.insert(FileMeta { id: FileId(file), name: "f".into(), size: Bytes(size) });
+        fs.insert(FileMeta {
+            id: FileId(file),
+            name: "f".into(),
+            size: Bytes(size),
+        });
         let l = DiskLayout::build(&fs, 1);
         (fs, l)
     }
@@ -202,7 +226,11 @@ mod tests {
             })
             .collect();
         ProfiledBurst {
-            burst: IoBurst { start: SimTime::ZERO, end: SimTime::ZERO, requests: reqs },
+            burst: IoBurst {
+                start: SimTime::ZERO,
+                end: SimTime::ZERO,
+                requests: reqs,
+            },
             gap_after: gap,
         }
     }
@@ -245,8 +273,9 @@ mod tests {
         let est = Estimator::new(&l);
         // Paced streaming: 64 KiB every 2.5 s — the mplayer shape (the
         // disk burns 1.6 W between refills; the card drops to PSM).
-        let bursts: Vec<_> =
-            (0..80).map(|_| burst(&[65_536], Dur::from_millis(2_500))).collect();
+        let bursts: Vec<_> = (0..80)
+            .map(|_| burst(&[65_536], Dur::from_millis(2_500)))
+            .collect();
         let disk = est.disk_cost(&bursts, DiskModel::new(DiskParams::hitachi_dk23da()));
         let wnic = est.wnic_cost(&bursts, WnicModel::new(WnicParams::cisco_aironet350()));
         assert!(
@@ -281,22 +310,21 @@ mod tests {
         let est = Estimator::new(&l);
         let bursts = vec![burst(&[4096], Dur::ZERO)];
         let spun = est.disk_cost(&bursts, DiskModel::new(DiskParams::hitachi_dk23da()));
-        let standby =
-            est.disk_cost(&bursts, DiskModel::new_standby(DiskParams::hitachi_dk23da()));
-        assert!(standby.energy.get() > spun.energy.get() + 4.9, "spin-up must show up");
+        let standby = est.disk_cost(
+            &bursts,
+            DiskModel::new_standby(DiskParams::hitachi_dk23da()),
+        );
+        assert!(
+            standby.energy.get() > spun.energy.get() + 4.9,
+            "spin-up must show up"
+        );
         assert!(standby.time > spun.time + Dur::from_millis(1_500));
     }
 
     #[test]
     fn filter_drops_fully_resident_requests() {
         let bursts = vec![burst(&[4096, 4096], Dur::from_secs(1))];
-        let filtered = filter_resident(&bursts, |_, offset, _| {
-            if offset == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let filtered = filter_resident(&bursts, |_, offset, _| if offset == 0 { 1.0 } else { 0.0 });
         assert_eq!(filtered[0].burst.requests.len(), 1);
         assert_eq!(filtered[0].burst.requests[0].offset, 4096);
     }
@@ -331,8 +359,9 @@ mod tests {
         let est = Estimator::new(&l);
         // A sparse window: 100 KB every 6 s for ~96 s — long enough for
         // the network option to amortise the disk's 20 s drain-down.
-        let bursts: Vec<_> =
-            (0..16).map(|_| burst(&[100_000], Dur::from_millis(6_000))).collect();
+        let bursts: Vec<_> = (0..16)
+            .map(|_| burst(&[100_000], Dur::from_millis(6_000)))
+            .collect();
         let disk = DiskModel::new(DiskParams::hitachi_dk23da());
         let wnic = WnicModel::new(WnicParams::cisco_aironet350());
         let d_only = est.disk_cost(&bursts, disk.clone());

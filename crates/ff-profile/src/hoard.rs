@@ -76,8 +76,7 @@ impl HoardPlanner {
         // Hottest first; among equals, smaller files first (more coverage
         // per byte); stable by inode for determinism.
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("hotness is finite")
+            b.1.total_cmp(&a.1)
                 .then(a.0.size.cmp(&b.0.size))
                 .then(a.0.id.cmp(&b.0.id))
         });
@@ -131,7 +130,11 @@ mod tests {
         Profile {
             app: "t".into(),
             bursts: vec![ProfiledBurst {
-                burst: IoBurst { start: SimTime::ZERO, end: SimTime::ZERO, requests },
+                burst: IoBurst {
+                    start: SimTime::ZERO,
+                    end: SimTime::ZERO,
+                    requests,
+                },
                 gap_after: Dur::ZERO,
             }],
         }
@@ -184,9 +187,13 @@ mod tests {
         let fs = files(&[100, 100]);
         // Same bytes, but file 2 is touched in a later burst.
         let mut p = profile_touching(&[(1, 500)]);
-        p.bursts.push(profile_touching(&[(2, 500)]).bursts.pop().unwrap());
+        p.bursts
+            .push(profile_touching(&[(2, 500)]).bursts.pop().unwrap());
         let plan = HoardPlanner::new(Bytes(100)).plan(&p, &fs);
-        assert!(plan.hoarded.contains(&FileId(2)), "recent file wins the tie");
+        assert!(
+            plan.hoarded.contains(&FileId(2)),
+            "recent file wins the tie"
+        );
         assert!(plan.missed.contains(&FileId(1)));
     }
 

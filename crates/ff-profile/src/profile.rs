@@ -1,15 +1,15 @@
 //! The per-application profile store (§2.1, §2.3.1, §2.3.3).
 
-use crate::burst::{BurstExtractor, ProfiledBurst};
+use crate::burst::{BurstExtractor, IoBurst, MergedRequest, ProfiledBurst};
 use crate::stage::{stages_of, Stage};
-use ff_base::{Bytes, Dur, Error, Result};
-use ff_trace::Trace;
-use serde::{Deserialize, Serialize};
+use ff_base::json::Value;
+use ff_base::{Bytes, Dur, Error, Result, SimTime};
+use ff_trace::{FileId, IoOp, Trace};
 use std::path::Path;
 
 /// A recorded, device-independent execution profile: the application's
 /// burst sequence with inter-burst think times.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Profile {
     /// Application name the profile belongs to.
     pub app: String,
@@ -20,7 +20,10 @@ pub struct Profile {
 impl Profile {
     /// Empty profile for `app` (first-ever run: no history).
     pub fn empty(app: impl Into<String>) -> Self {
-        Profile { app: app.into(), bursts: Vec::new() }
+        Profile {
+            app: app.into(),
+            bursts: Vec::new(),
+        }
     }
 
     /// Number of bursts.
@@ -101,18 +104,38 @@ impl Profile {
             };
             all[k].gap_after = gap;
         }
-        Profile { app: format!("{}||{}", self.app, other.app), bursts: all }
+        Profile {
+            app: format!("{}||{}", self.app, other.app),
+            bursts: all,
+        }
     }
 
-    /// Serialise to pretty JSON.
+    /// Serialise to pretty JSON. The document shape matches what the
+    /// earlier serde-based implementation produced, so profiles saved by
+    /// older builds stay loadable.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("profile serialisation cannot fail")
+        let bursts = self.bursts.iter().map(burst_to_value).collect();
+        let doc = Value::Object(vec![
+            ("app".into(), Value::Str(self.app.clone())),
+            ("bursts".into(), Value::Array(bursts)),
+        ]);
+        doc.to_pretty()
     }
 
     /// Parse from JSON.
     pub fn from_json(text: &str) -> Result<Profile> {
-        serde_json::from_str(text)
-            .map_err(|e| Error::Parse { line: e.line(), msg: e.to_string() })
+        let doc = Value::parse(text)?;
+        let app = field(&doc, "app")?
+            .as_str()
+            .ok_or_else(|| shape_err("\"app\" must be a string"))?
+            .to_owned();
+        let bursts = field(&doc, "bursts")?
+            .as_array()
+            .ok_or_else(|| shape_err("\"bursts\" must be an array"))?
+            .iter()
+            .map(burst_from_value)
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Profile { app, bursts })
     }
 
     /// Persist to a file.
@@ -128,6 +151,87 @@ impl Profile {
     }
 }
 
+fn shape_err(msg: impl Into<String>) -> Error {
+    Error::Parse {
+        line: 0,
+        msg: msg.into(),
+    }
+}
+
+fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value> {
+    v.get(key)
+        .ok_or_else(|| shape_err(format!("missing field \"{key}\"")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| shape_err(format!("\"{key}\" must be a non-negative integer")))
+}
+
+fn burst_to_value(pb: &ProfiledBurst) -> Value {
+    let requests = pb
+        .burst
+        .requests
+        .iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("file".into(), Value::UInt(r.file.0)),
+                (
+                    "op".into(),
+                    Value::Str(match r.op {
+                        IoOp::Read => "Read".into(),
+                        IoOp::Write => "Write".into(),
+                    }),
+                ),
+                ("offset".into(), Value::UInt(r.offset)),
+                ("len".into(), Value::UInt(r.len.get())),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "burst".into(),
+            Value::Object(vec![
+                ("start".into(), Value::UInt(pb.burst.start.as_micros())),
+                ("end".into(), Value::UInt(pb.burst.end.as_micros())),
+                ("requests".into(), Value::Array(requests)),
+            ]),
+        ),
+        ("gap_after".into(), Value::UInt(pb.gap_after.as_micros())),
+    ])
+}
+
+fn burst_from_value(v: &Value) -> Result<ProfiledBurst> {
+    let b = field(v, "burst")?;
+    let requests = field(b, "requests")?
+        .as_array()
+        .ok_or_else(|| shape_err("\"requests\" must be an array"))?
+        .iter()
+        .map(|r| {
+            let op = match field(r, "op")?.as_str() {
+                Some("Read") => IoOp::Read,
+                Some("Write") => IoOp::Write,
+                _ => return Err(shape_err("\"op\" must be \"Read\" or \"Write\"")),
+            };
+            Ok(MergedRequest {
+                file: FileId(u64_field(r, "file")?),
+                op,
+                offset: u64_field(r, "offset")?,
+                len: Bytes(u64_field(r, "len")?),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(ProfiledBurst {
+        burst: IoBurst {
+            start: SimTime(u64_field(b, "start")?),
+            end: SimTime(u64_field(b, "end")?),
+            requests,
+        },
+        gap_after: Dur(u64_field(v, "gap_after")?),
+    })
+}
+
 /// Trace → profile pipeline: burst extraction with the paper's defaults.
 #[derive(Debug, Clone, Copy)]
 pub struct Profiler {
@@ -138,12 +242,17 @@ pub struct Profiler {
 impl Profiler {
     /// The paper's configuration: 20 ms burst threshold, 128 KiB merge.
     pub fn standard() -> Self {
-        Profiler { extractor: BurstExtractor::default() }
+        Profiler {
+            extractor: BurstExtractor::default(),
+        }
     }
 
     /// Profile a recorded trace.
     pub fn profile(&self, trace: &Trace) -> Profile {
-        Profile { app: trace.name.clone(), bursts: self.extractor.extract(trace) }
+        Profile {
+            app: trace.name.clone(),
+            bursts: self.extractor.extract(trace),
+        }
     }
 }
 
@@ -178,7 +287,12 @@ mod tests {
 
     #[test]
     fn profiler_extracts_from_real_workload() {
-        let trace = Grep { files: 30, total_bytes: 1_000_000, ..Default::default() }.build(1);
+        let trace = Grep {
+            files: 30,
+            total_bytes: 1_000_000,
+            ..Default::default()
+        }
+        .build(1);
         let p = Profiler::standard().profile(&trace);
         assert_eq!(p.app, "grep");
         assert_eq!(p.total_bytes(), Bytes(1_000_000));
@@ -186,7 +300,10 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let p = Profile { app: "x".into(), bursts: vec![pb(0, 10, 100, 5000)] };
+        let p = Profile {
+            app: "x".into(),
+            bursts: vec![pb(0, 10, 100, 5000)],
+        };
         let back = Profile::from_json(&p.to_json()).unwrap();
         assert_eq!(p, back);
     }
@@ -196,7 +313,10 @@ mod tests {
         let dir = std::env::temp_dir().join("ff_profile_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("p.json");
-        let p = Profile { app: "x".into(), bursts: vec![pb(0, 10, 100, 5000)] };
+        let p = Profile {
+            app: "x".into(),
+            bursts: vec![pb(0, 10, 100, 5000)],
+        };
         p.save(&path).unwrap();
         assert_eq!(Profile::load(&path).unwrap(), p);
     }
@@ -221,7 +341,10 @@ mod tests {
 
     #[test]
     fn splice_beyond_end_keeps_only_observed() {
-        let old = Profile { app: "a".into(), bursts: vec![pb(0, 1, 1, 100)] };
+        let old = Profile {
+            app: "a".into(),
+            bursts: vec![pb(0, 1, 1, 100)],
+        };
         let spliced = old.splice(&[pb(0, 1, 1, 1)], 10);
         assert_eq!(spliced.len(), 1);
     }
@@ -242,12 +365,21 @@ mod tests {
 
     #[test]
     fn merge_concurrent_interleaves_and_recomputes_gaps() {
-        let a = Profile { app: "a".into(), bursts: vec![pb(0, 10, 999, 1), pb(100, 10, 0, 2)] };
-        let b = Profile { app: "b".into(), bursts: vec![pb(50, 10, 0, 3)] };
+        let a = Profile {
+            app: "a".into(),
+            bursts: vec![pb(0, 10, 999, 1), pb(100, 10, 0, 2)],
+        };
+        let b = Profile {
+            app: "b".into(),
+            bursts: vec![pb(50, 10, 0, 3)],
+        };
         let m = a.merge_concurrent(&b);
         assert_eq!(m.app, "a||b");
-        let starts: Vec<u64> =
-            m.bursts.iter().map(|x| x.burst.start.as_micros() / 1000).collect();
+        let starts: Vec<u64> = m
+            .bursts
+            .iter()
+            .map(|x| x.burst.start.as_micros() / 1000)
+            .collect();
         assert_eq!(starts, vec![0, 50, 100]);
         // Gap between burst 0 (ends 10 ms) and burst 1 (starts 50 ms).
         assert_eq!(m.bursts[0].gap_after, Dur::from_millis(40));

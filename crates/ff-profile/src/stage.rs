@@ -8,12 +8,11 @@
 
 use crate::burst::ProfiledBurst;
 use ff_base::{Bytes, Dur};
-use serde::{Deserialize, Serialize};
 
 /// A window of consecutive bursts whose combined span (bursts + think
 /// times) just exceeds the stage threshold — the unit at which FlexFetch
 /// makes and re-evaluates data-source decisions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stage {
     /// Index of the first burst of this stage in the profile.
     pub first_burst: usize,
@@ -59,12 +58,18 @@ pub fn stages_of(bursts: &[ProfiledBurst], stage_len: Dur) -> Vec<Stage> {
         cur_span += pb.span();
         cur.push(pb.clone());
         if cur_span > stage_len {
-            stages.push(Stage { first_burst: cur_first, bursts: std::mem::take(&mut cur) });
+            stages.push(Stage {
+                first_burst: cur_first,
+                bursts: std::mem::take(&mut cur),
+            });
             cur_span = Dur::ZERO;
         }
     }
     if !cur.is_empty() {
-        stages.push(Stage { first_burst: cur_first, bursts: cur });
+        stages.push(Stage {
+            first_burst: cur_first,
+            bursts: cur,
+        });
     }
     stages
 }

@@ -1,16 +1,14 @@
 //! Property tests for the profiling layer.
 
 use ff_base::{Bytes, Dur, SimTime};
-use ff_profile::{
-    stages_of, Estimator, IoBurst, MergedRequest, Profile, ProfiledBurst,
-};
+use ff_profile::{stages_of, Estimator, IoBurst, MergedRequest, Profile, ProfiledBurst};
 use ff_trace::{DiskLayout, FileId, FileMeta, FileSet, IoOp};
 use proptest::prelude::*;
 
 /// Random burst sequence with realistic spans.
 fn arb_bursts() -> impl Strategy<Value = Vec<ProfiledBurst>> {
-    proptest::collection::vec((1u64..2_000_000, 0u64..60_000_000, 1u64..5_000_000), 0..40)
-        .prop_map(|raw| {
+    proptest::collection::vec((1u64..2_000_000, 0u64..60_000_000, 1u64..5_000_000), 0..40).prop_map(
+        |raw| {
             let mut t = 0u64;
             raw.into_iter()
                 .map(|(bytes, gap_us, dur_us)| {
@@ -33,12 +31,17 @@ fn arb_bursts() -> impl Strategy<Value = Vec<ProfiledBurst>> {
                     }
                 })
                 .collect()
-        })
+        },
+    )
 }
 
 fn one_file_layout() -> (FileSet, DiskLayout) {
     let mut fs = FileSet::new();
-    fs.insert(FileMeta { id: FileId(1), name: "f".into(), size: Bytes(2_000_000) });
+    fs.insert(FileMeta {
+        id: FileId(1),
+        name: "f".into(),
+        size: Bytes(2_000_000),
+    });
     let l = DiskLayout::build(&fs, 1);
     (fs, l)
 }

@@ -25,7 +25,10 @@ pub struct Battery {
 impl Battery {
     /// A 2007 thin-and-light laptop: 50 Wh pack, 8 W platform draw.
     pub fn laptop_2007() -> Self {
-        Battery { capacity_wh: 50.0, base_power: Watts(8.0) }
+        Battery {
+            capacity_wh: 50.0,
+            base_power: Watts(8.0),
+        }
     }
 
     /// Mean I/O power of a finished run.
@@ -85,7 +88,10 @@ mod tests {
             ..Default::default()
         }
         .build(4);
-        Simulation::new(SimConfig::default(), &trace).policy(kind).run().unwrap()
+        Simulation::new(SimConfig::default(), &trace)
+            .policy(kind)
+            .run()
+            .unwrap()
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl SimConfig {
 
     /// Mark files as not hoarded locally: they are only reachable over
     /// the WNIC.
-    pub fn with_network_only_files(
-        mut self,
-        files: impl IntoIterator<Item = FileId>,
-    ) -> Self {
+    pub fn with_network_only_files(mut self, files: impl IntoIterator<Item = FileId>) -> Self {
         self.network_only_files.extend(files);
         self
     }
@@ -130,8 +127,10 @@ impl SimConfig {
 
     /// Attach a flash tier of `capacity_mb` megabytes.
     pub fn with_flash_mb(mut self, capacity_mb: usize) -> Self {
-        self.flash =
-            Some((FlashParams::compact_flash_2007(), capacity_mb * 1_000_000 / 4096));
+        self.flash = Some((
+            FlashParams::compact_flash_2007(),
+            capacity_mb * 1_000_000 / 4096,
+        ));
         self
     }
 }

@@ -5,15 +5,13 @@ use crate::report::SimReport;
 use ff_base::{size::PAGE_SIZE, Bytes, Dur, Error, Joules, Result, SimTime};
 use ff_cache::cscan::{BlockRequest, CScanQueue};
 use ff_cache::{BufferCache, FlashCache, PageKey};
-use ff_device::{
-    DeviceRequest, DiskModel, FlashModel, PowerModel, ServiceOutcome, WnicModel,
-};
+use ff_device::{DeviceRequest, DiskModel, FlashModel, PowerModel, ServiceOutcome, WnicModel};
 use ff_policy::{AppRequest, Policy, PolicyCtx, PolicyKind, Source};
 use ff_profile::burst::OnlineBurstBuilder;
 use ff_profile::BurstExtractor;
 use ff_trace::{DiskLayout, FileId, IoOp, Trace, TraceRecord};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 /// One simulation run: a trace, a config, and a policy.
 pub struct Simulation<'t> {
@@ -26,7 +24,11 @@ impl<'t> Simulation<'t> {
     /// New simulation of `trace` under `config` (policy defaults to
     /// Disk-only; set one with [`Simulation::policy`]).
     pub fn new(config: SimConfig, trace: &'t Trace) -> Self {
-        Simulation { config, trace, policy: PolicyKind::DiskOnly.build() }
+        Simulation {
+            config,
+            trace,
+            policy: PolicyKind::DiskOnly.build(),
+        }
     }
 
     /// Select the policy by recipe.
@@ -82,7 +84,7 @@ struct Runner<'t> {
     layout: DiskLayout,
     /// Per-process-group `(record index, think time after)` queues,
     /// consumed front to back.
-    queues: HashMap<u32, std::collections::VecDeque<(usize, Dur)>>,
+    queues: BTreeMap<u32, std::collections::VecDeque<(usize, Dur)>>,
     events: BinaryHeap<Reverse<Event>>,
     seq: u64,
     remaining_calls: usize,
@@ -138,9 +140,8 @@ impl<'t> Runner<'t> {
         // the group's next call. A group is one program (§2.1) — make and
         // its gcc children serialise; independent programs (xmms vs make)
         // interleave as separate loops.
-        let mut queues: HashMap<u32, std::collections::VecDeque<(usize, Dur)>> =
-            HashMap::new();
-        let mut by_pid: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut queues: BTreeMap<u32, std::collections::VecDeque<(usize, Dur)>> = BTreeMap::new();
+        let mut by_pid: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, r) in trace.records.iter().enumerate() {
             by_pid.entry(r.pgid).or_default().push(i);
         }
@@ -196,7 +197,7 @@ impl<'t> Runner<'t> {
         let firsts: Vec<(u32, SimTime)> = runner
             .queues
             .iter()
-            .map(|(&pid, q)| (pid, trace.records[q.front().expect("non-empty").0].ts))
+            .filter_map(|(&pid, q)| q.front().map(|&(idx, _)| (pid, trace.records[idx].ts)))
             .collect();
         for (pid, t) in firsts {
             runner.push_event(t, EventKind::Issue(pid));
@@ -243,14 +244,15 @@ impl<'t> Runner<'t> {
                 // Not hoarded AND disconnected: the request stalls until
                 // the link returns — modelled as service at the outage
                 // end (the disk genuinely has no copy).
-                let resume = self
+                if let Some(resume) = self
                     .cfg
                     .wnic_outages
                     .iter()
                     .find(|&&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
                     .map(|&(_, e)| SimTime::ZERO + e)
-                    .expect("outage checked");
-                self.wnic.advance_to(resume);
+                {
+                    self.wnic.advance_to(resume);
+                }
                 return (Source::Wnic, false);
             }
             // Not hoarded: the local disk has no copy. The policy is not
@@ -263,10 +265,22 @@ impl<'t> Runner<'t> {
             // The policy still observes the outcome (measured adaptation).
             return (Source::Disk, false);
         }
-        let Runner { policy, disk, wnic, layout, cache, .. } = self;
-        let resident =
-            |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
-        let ctx = PolicyCtx { now, disk, wnic, layout, resident: &resident };
+        let Runner {
+            policy,
+            disk,
+            wnic,
+            layout,
+            cache,
+            ..
+        } = self;
+        let resident = |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+        let ctx = PolicyCtx {
+            now,
+            disk,
+            wnic,
+            layout,
+            resident: &resident,
+        };
         (policy.select(&ctx, req), false)
     }
 
@@ -277,10 +291,22 @@ impl<'t> Runner<'t> {
         source: Option<Source>,
         outcome: &ServiceOutcome,
     ) {
-        let Runner { policy, disk, wnic, layout, cache, .. } = self;
-        let resident =
-            |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
-        let ctx = PolicyCtx { now, disk, wnic, layout, resident: &resident };
+        let Runner {
+            policy,
+            disk,
+            wnic,
+            layout,
+            cache,
+            ..
+        } = self;
+        let resident = |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+        let ctx = PolicyCtx {
+            now,
+            disk,
+            wnic,
+            layout,
+            resident: &resident,
+        };
         policy.observe(&ctx, req, source, outcome);
     }
 
@@ -324,12 +350,13 @@ impl<'t> Runner<'t> {
             for &(page, n) in &hit_d {
                 let _ = page;
                 let req = DeviceRequest::read(Bytes(n * PAGE_SIZE), None);
-                let (f, _) = self.flash.as_mut().expect("checked");
-                let out = f.service(cur, &req);
-                cur = out.complete;
-                energy += out.energy;
-                self.flash_requests += 1;
-                self.flash_bytes += req.bytes;
+                if let Some((f, _)) = self.flash.as_mut() {
+                    let out = f.service(cur, &req);
+                    cur = out.complete;
+                    energy += out.energy;
+                    self.flash_requests += 1;
+                    self.flash_bytes += req.bytes;
+                }
             }
             app_done = app_done.max(cur);
             // Populate flash with what the device is about to fetch.
@@ -337,8 +364,9 @@ impl<'t> Runner<'t> {
             for runs in [&miss_d, &miss_p] {
                 for &(page, n) in runs {
                     for pg in page..page + n {
-                        let (_, fc) = self.flash.as_mut().expect("checked");
-                        spilled.extend(fc.insert_clean(PageKey { file, index: pg }));
+                        if let Some((_, fc)) = self.flash.as_mut() {
+                            spilled.extend(fc.insert_clean(PageKey { file, index: pg }));
+                        }
                     }
                 }
             }
@@ -359,12 +387,20 @@ impl<'t> Runner<'t> {
                 let mut q = CScanQueue::new();
                 for &(page, n) in demand {
                     if let Some(start) = self.layout.block_of(file, page * PAGE_SIZE) {
-                        q.push(BlockRequest { start, blocks: n, tag: 1 });
+                        q.push(BlockRequest {
+                            start,
+                            blocks: n,
+                            tag: 1,
+                        });
                     }
                 }
                 for &(page, n) in prefetch {
                     if let Some(start) = self.layout.block_of(file, page * PAGE_SIZE) {
-                        q.push(BlockRequest { start, blocks: n, tag: 0 });
+                        q.push(BlockRequest {
+                            start,
+                            blocks: n,
+                            tag: 0,
+                        });
                     }
                 }
                 let mut cur = t;
@@ -402,7 +438,10 @@ impl<'t> Runner<'t> {
     /// Split page runs of `file` by flash residency (runs stay
     /// contiguous). Flash LRU positions refresh on lookups.
     fn partition_flash(&mut self, file: FileId, runs: &[(u64, u64)]) -> (PageRuns, PageRuns) {
-        let (_, fc) = self.flash.as_mut().expect("flash present");
+        let Some((_, fc)) = self.flash.as_mut() else {
+            // No flash tier: everything is a miss.
+            return (Vec::new(), runs.to_vec());
+        };
         let mut hits: PageRuns = Vec::new();
         let mut misses: PageRuns = Vec::new();
         for &(page, n) in runs {
@@ -451,17 +490,21 @@ impl<'t> Runner<'t> {
             // parks in flash instead of forcing a spin-up.
             if src == Source::Disk && self.flash.is_some() && !self.disk.is_ready() {
                 let req = DeviceRequest::write(bytes, None);
-                let (f, _) = self.flash.as_mut().expect("checked");
-                let out = f.service(cur, &req);
-                cur = out.complete;
-                energy += out.energy;
-                self.flash_requests += 1;
-                self.flash_bytes += bytes;
+                if let Some((f, _)) = self.flash.as_mut() {
+                    let out = f.service(cur, &req);
+                    cur = out.complete;
+                    energy += out.energy;
+                    self.flash_requests += 1;
+                    self.flash_bytes += bytes;
+                }
                 let mut spilled = Vec::new();
                 for pg in run.0.index..run.0.index + run.1 {
-                    let (_, fc) = self.flash.as_mut().expect("checked");
-                    spilled
-                        .extend(fc.buffer_write(PageKey { file: run.0.file, index: pg }));
+                    if let Some((_, fc)) = self.flash.as_mut() {
+                        spilled.extend(fc.buffer_write(PageKey {
+                            file: run.0.file,
+                            index: pg,
+                        }));
+                    }
                 }
                 if !spilled.is_empty() {
                     let (d, e) = self.write_pages_to_disk(cur, &spilled);
@@ -470,10 +513,7 @@ impl<'t> Runner<'t> {
                 }
                 continue;
             }
-            let req = DeviceRequest::write(
-                bytes,
-                if src == Source::Disk { block } else { None },
-            );
+            let req = DeviceRequest::write(bytes, if src == Source::Disk { block } else { None });
             let out = self.service(cur, src, req);
             cur = out.complete;
             energy += out.energy;
@@ -490,16 +530,22 @@ impl<'t> Runner<'t> {
     }
 
     /// Process one application system call; returns its completion time.
-    fn process_call(&mut self, t: SimTime, rec: &TraceRecord) -> SimTime {
+    /// Fails on a record naming a file absent from the trace's file
+    /// table (a malformed trace).
+    fn process_call(&mut self, t: SimTime, rec: &TraceRecord) -> Result<SimTime> {
         self.app_requests += 1;
         let meta_size = self
             .trace
             .files
             .get(rec.file)
             .map(|m| m.size)
-            .expect("validated trace");
-        let app_req =
-            AppRequest { file: rec.file, op: rec.op, offset: rec.offset, len: rec.len };
+            .ok_or(ff_base::Error::UnknownFile(rec.file.0))?;
+        let app_req = AppRequest {
+            file: rec.file,
+            op: rec.op,
+            offset: rec.offset,
+            len: rec.len,
+        };
 
         let mut energy = Joules::ZERO;
         let mut done = t;
@@ -549,9 +595,9 @@ impl<'t> Runner<'t> {
         // Profile feedback for every non-external application call —
         // §2.1: the profile records system calls regardless of where (or
         // whether) the data was serviced.
-        let external = routed.map(|(_, ext)| ext).unwrap_or_else(|| {
-            self.cfg.disk_only_files.contains(&rec.file)
-        });
+        let external = routed
+            .map(|(_, ext)| ext)
+            .unwrap_or_else(|| self.cfg.disk_only_files.contains(&rec.file));
         if !external {
             let source = routed.map(|(s, _)| s);
             let outcome = ServiceOutcome {
@@ -561,7 +607,7 @@ impl<'t> Runner<'t> {
             };
             self.notify_observe(done, &app_req, source, &outcome);
         }
-        done
+        Ok(done)
     }
 
     /// Flusher wake-up: write back due dirty pages asynchronously, and
@@ -608,10 +654,22 @@ impl<'t> Runner<'t> {
             wnic_energy: self.wnic.energy() - self.wnic_mark,
         };
         {
-            let Runner { policy, disk, wnic, layout, cache, .. } = self;
-            let resident =
-                |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
-            let ctx = PolicyCtx { now, disk, wnic, layout, resident: &resident };
+            let Runner {
+                policy,
+                disk,
+                wnic,
+                layout,
+                cache,
+                ..
+            } = self;
+            let resident = |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+            let ctx = PolicyCtx {
+                now,
+                disk,
+                wnic,
+                layout,
+                resident: &resident,
+            };
             policy.on_stage_end(&ctx, &report);
         }
         let fetched_now = self.disk_bytes + self.wnic_bytes;
@@ -635,16 +693,21 @@ impl<'t> Runner<'t> {
         while let Some(Reverse((t, _, kind))) = self.events.pop() {
             match kind {
                 EventKind::Issue(pid) => {
-                    let (idx, think) = self
-                        .queues
-                        .get_mut(&pid)
-                        .and_then(|q| q.pop_front())
-                        .expect("issue event without queued record");
+                    let Some((idx, think)) = self.queues.get_mut(&pid).and_then(|q| q.pop_front())
+                    else {
+                        debug_assert!(false, "issue event without queued record");
+                        continue;
+                    };
                     let rec = &self.trace.records[idx];
-                    let done = self.process_call(t, &rec.clone());
+                    let done = self.process_call(t, &rec.clone())?;
                     self.last_completion = self.last_completion.max(done);
                     self.remaining_calls -= 1;
-                    if self.queues.get(&pid).map(|q| !q.is_empty()).unwrap_or(false) {
+                    if self
+                        .queues
+                        .get(&pid)
+                        .map(|q| !q.is_empty())
+                        .unwrap_or(false)
+                    {
                         self.push_event(done + think, EventKind::Issue(pid));
                     }
                 }
@@ -693,10 +756,12 @@ impl<'t> Runner<'t> {
                 let _ = self.write_pages_to_disk(end, &destage);
             }
         }
-        let final_t = end
-            .max(self.disk.clock())
-            .max(self.wnic.clock())
-            .max(self.flash.as_ref().map(|(f, _)| f.clock()).unwrap_or(SimTime::ZERO));
+        let final_t = end.max(self.disk.clock()).max(self.wnic.clock()).max(
+            self.flash
+                .as_ref()
+                .map(|(f, _)| f.clock())
+                .unwrap_or(SimTime::ZERO),
+        );
         self.disk.advance_to(final_t);
         self.wnic.advance_to(final_t);
         if let Some((f, _)) = &mut self.flash {
@@ -763,7 +828,12 @@ mod tests {
     use ff_trace::{Grep, Workload};
 
     fn grep_small() -> Trace {
-        Grep { files: 40, total_bytes: 4_000_000, ..Default::default() }.build(7)
+        Grep {
+            files: 40,
+            total_bytes: 4_000_000,
+            ..Default::default()
+        }
+        .build(7)
     }
 
     #[test]
@@ -773,12 +843,24 @@ mod tests {
             PageKey { file: f, index: 3 },
             PageKey { file: f, index: 1 },
             PageKey { file: f, index: 2 },
-            PageKey { file: FileId(2), index: 4 },
+            PageKey {
+                file: FileId(2),
+                index: 4,
+            },
         ];
         let runs = page_runs(&pages);
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[0], (PageKey { file: f, index: 1 }, 3));
-        assert_eq!(runs[1], (PageKey { file: FileId(2), index: 4 }, 1));
+        assert_eq!(
+            runs[1],
+            (
+                PageKey {
+                    file: FileId(2),
+                    index: 4
+                },
+                1
+            )
+        );
     }
 
     #[test]
@@ -789,7 +871,10 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.total_energy().get() > 0.0);
-        assert_eq!(report.wnic_requests, 0, "Disk-only must never touch the WNIC");
+        assert_eq!(
+            report.wnic_requests, 0,
+            "Disk-only must never touch the WNIC"
+        );
         assert!(report.disk_bytes.get() >= 4_000_000, "all data fetched");
         assert_eq!(report.app_requests, trace.len() as u64);
     }
@@ -868,7 +953,10 @@ mod tests {
             .policy(PolicyKind::WnicOnly)
             .run()
             .unwrap();
-        assert_eq!(report.wnic_requests, 0, "pinned files must never ride the WNIC");
+        assert_eq!(
+            report.wnic_requests, 0,
+            "pinned files must never ride the WNIC"
+        );
         assert!(report.disk_requests > 0);
     }
 
@@ -897,15 +985,22 @@ mod tests {
             .policy(PolicyKind::DiskOnly) // policy wants the disk…
             .run()
             .unwrap();
-        assert_eq!(report.disk_requests, 0, "non-hoarded files cannot hit the disk");
+        assert_eq!(
+            report.disk_requests, 0,
+            "non-hoarded files cannot hit the disk"
+        );
         assert!(report.wnic_requests > 0);
     }
 
     #[test]
     fn partial_hoard_splits_traffic() {
         let trace = grep_small();
-        let half: Vec<FileId> =
-            trace.files.iter().map(|f| f.id).filter(|f| f.0 % 2 == 0).collect();
+        let half: Vec<FileId> = trace
+            .files
+            .iter()
+            .map(|f| f.id)
+            .filter(|f| f.0 % 2 == 0)
+            .collect();
         let cfg = SimConfig::default().with_network_only_files(half);
         let report = Simulation::new(cfg, &trace)
             .policy(PolicyKind::DiskOnly)
@@ -977,7 +1072,10 @@ mod tests {
             if flash_mb > 0 {
                 cfg = cfg.with_flash_mb(flash_mb);
             }
-            Simulation::new(cfg, &both).policy(PolicyKind::WnicOnly).run().unwrap()
+            Simulation::new(cfg, &both)
+                .policy(PolicyKind::WnicOnly)
+                .run()
+                .unwrap()
         };
         let without = tiny_ram(0);
         let with = tiny_ram(64);
@@ -1015,7 +1113,10 @@ mod tests {
             if flash {
                 cfg = cfg.with_flash_mb(64);
             }
-            Simulation::new(cfg, &trace).policy(PolicyKind::DiskOnly).run().unwrap()
+            Simulation::new(cfg, &trace)
+                .policy(PolicyKind::DiskOnly)
+                .run()
+                .unwrap()
         };
         let without = run(false);
         let with = run(true);
@@ -1031,7 +1132,10 @@ mod tests {
     fn flash_energy_is_metered_and_totalled() {
         let trace = grep_small();
         let cfg = SimConfig::default().with_flash_mb(32);
-        let r = Simulation::new(cfg, &trace).policy(PolicyKind::DiskOnly).run().unwrap();
+        let r = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
         let meter = r.flash_meter.as_ref().expect("flash configured");
         assert!((meter.total().get() - r.flash_energy.get()).abs() < 1e-9);
         assert!(r.flash_energy.get() > 0.0, "idle draw alone is non-zero");
@@ -1044,8 +1148,11 @@ mod tests {
     #[test]
     fn stage_summaries_partition_energy() {
         use ff_trace::Xmms;
-        let trace = Xmms { play_limit: Some(Dur::from_secs(200)), ..Default::default() }
-            .build(3);
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(200)),
+            ..Default::default()
+        }
+        .build(3);
         let report = Simulation::new(SimConfig::default(), &trace)
             .policy(PolicyKind::DiskOnly)
             .run()
@@ -1053,10 +1160,16 @@ mod tests {
         assert_eq!(report.stage_summaries.len(), report.stages);
         // Stage energies sum to at most the run total (the tail after the
         // last boundary is not in any stage).
-        let staged: f64 =
-            report.stage_summaries.iter().map(|s| s.total_energy().get()).sum();
+        let staged: f64 = report
+            .stage_summaries
+            .iter()
+            .map(|s| s.total_energy().get())
+            .sum();
         assert!(staged <= report.total_energy().get() + 1e-6);
-        assert!(staged > report.total_energy().get() * 0.5, "stages cover most of the run");
+        assert!(
+            staged > report.total_energy().get() * 0.5,
+            "stages cover most of the run"
+        );
         // Contiguous, ordered stage windows.
         for w in report.stage_summaries.windows(2) {
             assert_eq!(w[0].end, w[1].start);
@@ -1067,14 +1180,18 @@ mod tests {
     #[test]
     fn outage_fails_over_to_disk() {
         use ff_trace::Xmms;
-        let trace = Xmms { play_limit: Some(Dur::from_secs(120)), ..Default::default() }
-            .build(8);
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(120)),
+            ..Default::default()
+        }
+        .build(8);
         // Link down for the whole run: WNIC-only policy still ends up on
         // the disk.
-        let cfg = SimConfig::default()
-            .with_wnic_outage(Dur::ZERO, Dur::from_secs(100_000));
-        let report =
-            Simulation::new(cfg, &trace).policy(PolicyKind::WnicOnly).run().unwrap();
+        let cfg = SimConfig::default().with_wnic_outage(Dur::ZERO, Dur::from_secs(100_000));
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
         assert_eq!(report.wnic_requests, 0, "outage must block the WNIC");
         assert!(report.disk_requests > 0);
     }
@@ -1082,12 +1199,16 @@ mod tests {
     #[test]
     fn partial_outage_splits_traffic() {
         use ff_trace::Xmms;
-        let trace = Xmms { play_limit: Some(Dur::from_secs(200)), ..Default::default() }
-            .build(8);
-        let cfg = SimConfig::default()
-            .with_wnic_outage(Dur::from_secs(50), Dur::from_secs(150));
-        let report =
-            Simulation::new(cfg, &trace).policy(PolicyKind::WnicOnly).run().unwrap();
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(200)),
+            ..Default::default()
+        }
+        .build(8);
+        let cfg = SimConfig::default().with_wnic_outage(Dur::from_secs(50), Dur::from_secs(150));
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
         assert!(report.wnic_requests > 0, "link is up outside the outage");
         assert!(report.disk_requests > 0, "failover during the outage");
     }
@@ -1095,15 +1216,20 @@ mod tests {
     #[test]
     fn unhoarded_file_stalls_through_outage() {
         use ff_trace::Xmms;
-        let trace = Xmms { play_limit: Some(Dur::from_secs(60)), ..Default::default() }
-            .build(8);
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(60)),
+            ..Default::default()
+        }
+        .build(8);
         let all: Vec<FileId> = trace.files.iter().map(|f| f.id).collect();
         let outage_end = Dur::from_secs(500);
         let cfg = SimConfig::default()
             .with_network_only_files(all)
             .with_wnic_outage(Dur::ZERO, outage_end);
-        let report =
-            Simulation::new(cfg, &trace).policy(PolicyKind::DiskOnly).run().unwrap();
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
         assert_eq!(report.disk_requests, 0, "no local copies exist");
         // The run cannot finish before the link returns.
         assert!(report.exec_time >= outage_end, "exec {}", report.exec_time);

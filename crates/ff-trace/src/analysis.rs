@@ -100,11 +100,9 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
     let burstiness = if gaps.is_empty() {
         1.0
     } else {
-        gaps.iter().filter(|g| **g < Dur::from_millis(20)).count() as f64
-            / gaps.len() as f64
+        gaps.iter().filter(|g| **g < Dur::from_millis(20)).count() as f64 / gaps.len() as f64
     };
-    let mut ranked: Vec<(u64, Bytes)> =
-        per_file.into_iter().map(|(f, b)| (f, Bytes(b))).collect();
+    let mut ranked: Vec<(u64, Bytes)> = per_file.into_iter().map(|(f, b)| (f, Bytes(b))).collect();
     ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     let top_n = (ranked.len() / 10).max(1);
     let top_bytes: u64 = ranked.iter().take(top_n).map(|&(_, b)| b.get()).sum();
@@ -139,10 +137,19 @@ mod tests {
 
     #[test]
     fn grep_is_bursty_and_sequential() {
-        let t = Grep { files: 50, total_bytes: 3_000_000, ..Default::default() }.build(1);
+        let t = Grep {
+            files: 50,
+            total_bytes: 3_000_000,
+            ..Default::default()
+        }
+        .build(1);
         let a = analyze(&t);
         assert!(a.burstiness > 0.95, "grep burstiness {}", a.burstiness);
-        assert!(a.sequentiality > 0.4, "grep sequentiality {}", a.sequentiality);
+        assert!(
+            a.sequentiality > 0.4,
+            "grep sequentiality {}",
+            a.sequentiality
+        );
         assert!((a.read_fraction - 1.0).abs() < 1e-9);
     }
 
@@ -156,7 +163,11 @@ mod tests {
         let a = analyze(&t);
         assert!(a.burstiness < 0.1, "xmms burstiness {}", a.burstiness);
         let think = a.think_times.unwrap();
-        assert!(think.p50 > Dur::from_secs(3), "xmms median think {}", think.p50);
+        assert!(
+            think.p50 > Dur::from_secs(3),
+            "xmms median think {}",
+            think.p50
+        );
     }
 
     #[test]
@@ -170,8 +181,16 @@ mod tests {
         }
         .build(1);
         let a = analyze(&t);
-        assert!(a.read_fraction > 0.5 && a.read_fraction < 1.0, "{}", a.read_fraction);
-        assert!(a.burstiness > 0.3 && a.burstiness < 0.98, "{}", a.burstiness);
+        assert!(
+            a.read_fraction > 0.5 && a.read_fraction < 1.0,
+            "{}",
+            a.read_fraction
+        );
+        assert!(
+            a.burstiness > 0.3 && a.burstiness < 0.98,
+            "{}",
+            a.burstiness
+        );
     }
 
     #[test]

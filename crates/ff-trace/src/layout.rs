@@ -54,10 +54,19 @@ impl DiskLayout {
         let mut cursor = 0u64;
         for meta in files.iter() {
             let blocks = meta.size.pages().max(1);
-            extents.insert(meta.id, Extent { start: cursor, blocks });
+            extents.insert(
+                meta.id,
+                Extent {
+                    start: cursor,
+                    blocks,
+                },
+            );
             cursor += blocks + rng.gen_range(1..=Self::MAX_GAP_BLOCKS);
         }
-        DiskLayout { extents, total_blocks: cursor }
+        DiskLayout {
+            extents,
+            total_blocks: cursor,
+        }
     }
 
     /// Extent of a file, if laid out.
@@ -162,7 +171,9 @@ mod tests {
         let l = DiskLayout::build(&fs, 1);
         let e = l.extent(FileId(1)).unwrap();
         // 1 byte in the middle of block 3.
-        let (a, b) = l.block_range(FileId(1), BLOCK_SIZE * 3 + 5, Bytes(1)).unwrap();
+        let (a, b) = l
+            .block_range(FileId(1), BLOCK_SIZE * 3 + 5, Bytes(1))
+            .unwrap();
         assert_eq!((a, b), (e.start + 3, e.start + 3));
         // Crossing a block boundary.
         let (a, b) = l.block_range(FileId(1), BLOCK_SIZE - 1, Bytes(2)).unwrap();

@@ -8,16 +8,14 @@
 //! models.
 
 use ff_base::{Bytes, Dur, Error, Result, SimTime};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A file identity — the inode number recorded by the collector.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId(pub u64);
 
 /// Read or write — the two call types the scheme profiles (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IoOp {
     /// A `read()` system call.
     Read,
@@ -26,7 +24,7 @@ pub enum IoOp {
 }
 
 /// Metadata for one traced file.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileMeta {
     /// Inode number.
     pub id: FileId,
@@ -37,7 +35,7 @@ pub struct FileMeta {
 }
 
 /// The set of files referenced by a trace, keyed by inode.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FileSet {
     files: BTreeMap<FileId, FileMeta>,
 }
@@ -100,7 +98,7 @@ impl FileSet {
 }
 
 /// One read/write system call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceRecord {
     /// Process id.
     pub pid: u32,
@@ -156,7 +154,7 @@ pub struct TraceStats {
 }
 
 /// A complete application trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Human-readable workload name ("grep", "make", …).
     pub name: String,
@@ -169,7 +167,11 @@ pub struct Trace {
 impl Trace {
     /// New empty trace.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), files: FileSet::new(), records: Vec::new() }
+        Trace {
+            name: name.into(),
+            files: FileSet::new(),
+            records: Vec::new(),
+        }
     }
 
     /// Number of records.
@@ -184,7 +186,11 @@ impl Trace {
 
     /// Completion instant of the last record (epoch for an empty trace).
     pub fn end_time(&self) -> SimTime {
-        self.records.iter().map(|r| r.end()).max().unwrap_or(SimTime::ZERO)
+        self.records
+            .iter()
+            .map(|r| r.end())
+            .max()
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// Total bytes requested across all records.
@@ -232,7 +238,10 @@ impl Trace {
             }
             prev = r.ts;
             if r.len.is_zero() {
-                return Err(Error::Parse { line: i + 1, msg: "zero-length request".into() });
+                return Err(Error::Parse {
+                    line: i + 1,
+                    msg: "zero-length request".into(),
+                });
             }
             let meta = self.files.get(r.file).ok_or(Error::UnknownFile(r.file.0))?;
             if r.end_offset() > meta.size.get() {
@@ -272,8 +281,7 @@ impl Trace {
     pub fn merge(&self, other: &Trace) -> Result<Trace> {
         let mut files = self.files.clone();
         files.merge(&other.files)?;
-        let mut records =
-            Vec::with_capacity(self.records.len() + other.records.len());
+        let mut records = Vec::with_capacity(self.records.len() + other.records.len());
         let (mut i, mut j) = (0, 0);
         while i < self.records.len() && j < other.records.len() {
             if other.records[j].ts < self.records[i].ts {
@@ -322,7 +330,11 @@ mod tests {
     use super::*;
 
     fn file(id: u64, size: u64) -> FileMeta {
-        FileMeta { id: FileId(id), name: format!("f{id}"), size: Bytes(size) }
+        FileMeta {
+            id: FileId(id),
+            name: format!("f{id}"),
+            size: Bytes(size),
+        }
     }
 
     fn rec(pid: u32, id: u64, off: u64, len: u64, ts_us: u64, dur_us: u64) -> TraceRecord {
@@ -376,7 +388,10 @@ mod tests {
     fn validate_rejects_out_of_bounds() {
         let mut t = tiny_trace();
         t.records.push(rec(10, 2, 400, 200, 2_000, 1));
-        assert!(matches!(t.validate(), Err(Error::OutOfBounds { inode: 2, .. })));
+        assert!(matches!(
+            t.validate(),
+            Err(Error::OutOfBounds { inode: 2, .. })
+        ));
     }
 
     #[test]

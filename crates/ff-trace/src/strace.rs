@@ -56,9 +56,15 @@ pub fn to_string(trace: &Trace) -> String {
 }
 
 fn parse_u64(tok: Option<&str>, line: usize, what: &str) -> Result<u64> {
-    tok.ok_or_else(|| Error::Parse { line, msg: format!("missing {what}") })?
-        .parse()
-        .map_err(|_| Error::Parse { line, msg: format!("bad {what}") })
+    tok.ok_or_else(|| Error::Parse {
+        line,
+        msg: format!("missing {what}"),
+    })?
+    .parse()
+    .map_err(|_| Error::Parse {
+        line,
+        msg: format!("bad {what}"),
+    })
 }
 
 /// Parse the text format back into a [`Trace`]; validates on the way out.
@@ -67,7 +73,10 @@ pub fn from_str(text: &str) -> Result<Trace> {
     match lines.next() {
         Some((_, l)) if l.trim() == HEADER => {}
         _ => {
-            return Err(Error::Parse { line: 1, msg: format!("expected header `{HEADER}`") });
+            return Err(Error::Parse {
+                line: 1,
+                msg: format!("expected header `{HEADER}`"),
+            });
         }
     }
     let mut trace = Trace::new("unnamed");
@@ -87,9 +96,16 @@ pub fn from_str(text: &str) -> Result<Trace> {
             let size = parse_u64(toks.next(), line_no, "size")?;
             let name = toks
                 .next()
-                .ok_or_else(|| Error::Parse { line: line_no, msg: "missing path".into() })?
+                .ok_or_else(|| Error::Parse {
+                    line: line_no,
+                    msg: "missing path".into(),
+                })?
                 .to_string();
-            trace.files.insert(FileMeta { id: FileId(inode), name, size: Bytes(size) });
+            trace.files.insert(FileMeta {
+                id: FileId(inode),
+                name,
+                size: Bytes(size),
+            });
             continue;
         }
         let mut toks = line.split_ascii_whitespace();
@@ -111,7 +127,10 @@ pub fn from_str(text: &str) -> Result<Trace> {
         let ts = parse_u64(toks.next(), line_no, "timestamp")?;
         let dur = parse_u64(toks.next(), line_no, "duration")?;
         if toks.next().is_some() {
-            return Err(Error::Parse { line: line_no, msg: "trailing tokens".into() });
+            return Err(Error::Parse {
+                line: line_no,
+                msg: "trailing tokens".into(),
+            });
         }
         trace.records.push(TraceRecord {
             pid,
@@ -172,7 +191,10 @@ mod tests {
 
     #[test]
     fn header_is_required() {
-        assert!(matches!(from_str("r 1 1 1 0 1 0 0\n"), Err(Error::Parse { line: 1, .. })));
+        assert!(matches!(
+            from_str("r 1 1 1 0 1 0 0\n"),
+            Err(Error::Parse { line: 1, .. })
+        ));
         assert!(from_str("").is_err());
     }
 
@@ -188,7 +210,10 @@ mod tests {
     fn file_paths_may_contain_spaces() {
         let text = format!("{HEADER}\n@file 3 100 My Documents/report final.pdf\n");
         let t = from_str(&text).unwrap();
-        assert_eq!(t.files.get(FileId(3)).unwrap().name, "My Documents/report final.pdf");
+        assert_eq!(
+            t.files.get(FileId(3)).unwrap().name,
+            "My Documents/report final.pdf"
+        );
     }
 
     #[test]

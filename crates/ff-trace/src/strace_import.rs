@@ -111,8 +111,15 @@ impl StraceImporter {
         }
         let mut records = self.records;
         records.sort_by_key(|r| r.ts);
-        let trace = Trace { name: self.name, files, records };
-        debug_assert!(trace.validate().is_ok(), "importer produced an invalid trace");
+        let trace = Trace {
+            name: self.name,
+            files,
+            records,
+        };
+        debug_assert!(
+            trace.validate().is_ok(),
+            "importer produced an invalid trace"
+        );
         (trace, self.stats)
     }
 
@@ -147,7 +154,10 @@ impl StraceImporter {
         // pid column is optional (no -f): detect by whether it parses as
         // an integer AND the next token looks like a timestamp.
         let (pid, rest) = match first.parse::<u32>() {
-            Ok(pid) => (pid, toks.next()?.to_string() + " " + toks.next().unwrap_or("")),
+            Ok(pid) => (
+                pid,
+                toks.next()?.to_string() + " " + toks.next().unwrap_or(""),
+            ),
             Err(_) => (1, line.to_string()),
         };
         let rest = rest.trim();
@@ -241,7 +251,11 @@ impl StraceImporter {
                     offset
                 };
                 let len = ret_num as u64;
-                let op = if sys.contains("read") { IoOp::Read } else { IoOp::Write };
+                let op = if sys.contains("read") {
+                    IoOp::Read
+                } else {
+                    IoOp::Write
+                };
                 self.records.push(TraceRecord {
                     pid,
                     pgid: self.pgid,
@@ -306,9 +320,17 @@ mod tests {
     #[test]
     fn sizes_are_high_water_marks() {
         let (trace, _) = StraceImporter::new("app", 100, 1).import(SAMPLE);
-        let a = trace.files.iter().find(|f| f.name == "/data/a.bin").unwrap();
+        let a = trace
+            .files
+            .iter()
+            .find(|f| f.name == "/data/a.bin")
+            .unwrap();
         assert_eq!(a.size, Bytes(65536 + 1000));
-        let b = trace.files.iter().find(|f| f.name == "/data/b.bin").unwrap();
+        let b = trace
+            .files
+            .iter()
+            .find(|f| f.name == "/data/b.bin")
+            .unwrap();
         assert_eq!(b.size, Bytes(512));
     }
 
@@ -394,7 +416,11 @@ garbage line
         // Gaps of 100 ms between calls exceed the 20 ms threshold: every
         // call is its own burst.
         let bursts = crate::workloads::Workload::build(
-            &crate::Grep { files: 1, total_bytes: 1024, ..Default::default() },
+            &crate::Grep {
+                files: 1,
+                total_bytes: 1024,
+                ..Default::default()
+            },
             1,
         );
         let _ = bursts; // (just ensuring cross-module compile paths)

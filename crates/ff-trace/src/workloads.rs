@@ -27,10 +27,10 @@ mod xmms;
 
 pub use acroread::Acroread;
 pub use builder::TraceBuilder;
-pub use synthetic::{AccessPattern, Synthetic};
 pub use grep::Grep;
 pub use make::Make;
 pub use mplayer::Mplayer;
+pub use synthetic::{AccessPattern, Synthetic};
 pub use thunderbird::Thunderbird;
 pub use xmms::Xmms;
 
@@ -57,7 +57,10 @@ pub(crate) fn partition_sizes(
 ) -> Vec<u64> {
     use rand::Rng;
     assert!(n > 0, "cannot partition into zero files");
-    assert!(total >= min * n as u64, "total too small for {n} files of at least {min}");
+    assert!(
+        total >= min * n as u64,
+        "total too small for {n} files of at least {min}"
+    );
     let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
     let wsum: f64 = weights.iter().sum();
     let spread = total - min * n as u64;
@@ -137,7 +140,11 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        for w in [&Grep::default() as &dyn Workload, &Make::default(), &Xmms::default()] {
+        for w in [
+            &Grep::default() as &dyn Workload,
+            &Make::default(),
+            &Xmms::default(),
+        ] {
             let a = w.build(7);
             let b = w.build(7);
             assert_eq!(a, b, "{} not deterministic", w.name());

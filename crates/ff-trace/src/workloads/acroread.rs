@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn small_profile_interval_exceeds_disk_timeout() {
         let a = Acroread::small_profile();
-        assert!(a.interval > Dur::from_secs(20), "must out-wait the spin-down timeout");
+        assert!(
+            a.interval > Dur::from_secs(20),
+            "must out-wait the spin-down timeout"
+        );
         let t = a.build(2);
         // Between two searches the gap is > 20 s.
         let mut gaps = vec![];
@@ -111,7 +114,11 @@ mod tests {
                 gaps.push(gap);
             }
         }
-        assert_eq!(gaps.len(), a.searches - 1 + 1 - 1, "one think gap per search boundary");
+        assert_eq!(
+            gaps.len(),
+            a.searches - 1 + 1 - 1,
+            "one think gap per search boundary"
+        );
         assert!(gaps.iter().all(|g| *g > Dur::from_secs(20)));
     }
 
@@ -131,7 +138,12 @@ mod tests {
 
     #[test]
     fn each_search_scans_one_whole_file() {
-        let a = Acroread { files: 3, file_bytes: 1_000_000, searches: 4, ..Acroread::large_search() };
+        let a = Acroread {
+            files: 3,
+            file_bytes: 1_000_000,
+            searches: 4,
+            ..Acroread::large_search()
+        };
         let t = a.build(4);
         assert_eq!(t.stats().read_bytes, Bytes(4_000_000));
     }
@@ -140,6 +152,9 @@ mod tests {
     fn variants_differ_in_burst_size() {
         let small = Acroread::small_profile().build(5);
         let large = Acroread::large_search().build(5);
-        assert_eq!(small.stats().read_bytes.get() * 10, large.stats().read_bytes.get());
+        assert_eq!(
+            small.stats().read_bytes.get() * 10,
+            large.stats().read_bytes.get()
+        );
     }
 }

@@ -64,7 +64,11 @@ impl TraceBuilder {
     pub fn add_file(&mut self, name: impl Into<String>, size: Bytes) -> FileId {
         let id = FileId(self.next_inode);
         self.next_inode += 1;
-        self.trace.files.insert(FileMeta { id, name: name.into(), size });
+        self.trace.files.insert(FileMeta {
+            id,
+            name: name.into(),
+            size,
+        });
         id
     }
 
@@ -104,9 +108,16 @@ impl TraceBuilder {
             self.pgid = pid;
         }
         let pgid = self.pgid;
-        self.trace
-            .records
-            .push(TraceRecord { pid, pgid, file, op, offset, len, ts: self.now, dur });
+        self.trace.records.push(TraceRecord {
+            pid,
+            pgid,
+            file,
+            op,
+            offset,
+            len,
+            ts: self.now,
+            dur,
+        });
         self.now += dur;
     }
 
@@ -143,7 +154,10 @@ impl TraceBuilder {
 
     /// Finish and return the trace (debug-asserts validity).
     pub fn finish(self) -> Trace {
-        debug_assert!(self.trace.validate().is_ok(), "builder produced invalid trace");
+        debug_assert!(
+            self.trace.validate().is_ok(),
+            "builder produced invalid trace"
+        );
         self.trace
     }
 }
@@ -166,7 +180,11 @@ mod tests {
         let t = b.finish();
         assert_eq!(t.records.len(), 2);
         // Second read is sequential with the first: no seek component.
-        assert!(t.records[1].dur < Dur::from_millis(2), "dur {}", t.records[1].dur);
+        assert!(
+            t.records[1].dur < Dur::from_millis(2),
+            "dur {}",
+            t.records[1].dur
+        );
         // Gap between records is at least the think time.
         let gap = t.records[1].ts - t.records[0].end();
         assert_eq!(gap, Dur::from_secs(1));

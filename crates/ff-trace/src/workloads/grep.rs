@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn reads_every_file_completely() {
-        let g = Grep { files: 10, total_bytes: 1_000_000, ..Grep::default() };
+        let g = Grep {
+            files: 10,
+            total_bytes: 1_000_000,
+            ..Grep::default()
+        };
         let t = g.build(3);
         assert_eq!(t.total_bytes(), Bytes(1_000_000));
         assert_eq!(t.files.len(), 10);
@@ -91,7 +95,12 @@ mod tests {
 
     #[test]
     fn only_reads_no_writes() {
-        let t = Grep { files: 20, total_bytes: 200_000, ..Grep::default() }.build(1);
+        let t = Grep {
+            files: 20,
+            total_bytes: 200_000,
+            ..Grep::default()
+        }
+        .build(1);
         assert_eq!(t.stats().written_bytes, Bytes::ZERO);
     }
 
@@ -100,6 +109,9 @@ mod tests {
         let t = Grep::default().build(5);
         let avg = t.files.total_size().get() / t.files.len() as u64;
         // ~38 KiB average source file.
-        assert!(avg < 80_000, "avg file size {avg} too large for grep corpus");
+        assert!(
+            avg < 80_000,
+            "avg file size {avg} too large for grep corpus"
+        );
     }
 }

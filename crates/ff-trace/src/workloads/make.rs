@@ -185,7 +185,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[1].ts.saturating_since(w[0].end()) >= threshold)
             .count();
-        assert!(breaks > 500, "make should be non-bursty, got {breaks} breaks");
+        assert!(
+            breaks > 500,
+            "make should be non-bursty, got {breaks} breaks"
+        );
     }
 
     #[test]

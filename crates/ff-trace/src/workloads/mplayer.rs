@@ -131,7 +131,10 @@ mod tests {
 
     #[test]
     fn play_limit_truncates_movie() {
-        let m = Mplayer { play_limit: Some(Dur::from_secs(60)), ..Mplayer::default() };
+        let m = Mplayer {
+            play_limit: Some(Dur::from_secs(60)),
+            ..Mplayer::default()
+        };
         let t = m.build(3);
         // ~60 s at 55 KB/s ≈ 3.5 MB of movie + startup; far below full size.
         let read = t.stats().read_bytes.get();

@@ -92,8 +92,9 @@ impl Workload for Synthetic {
 
         // Draw relative sizes, rescale to the corpus total, floor at one
         // chunk so every file is addressable.
-        let weights: Vec<f64> =
-            (0..self.files).map(|_| self.size_dist.sample(&mut rng).max(1e-9)).collect();
+        let weights: Vec<f64> = (0..self.files)
+            .map(|_| self.size_dist.sample(&mut rng).max(1e-9))
+            .collect();
         let wsum: f64 = weights.iter().sum();
         let min_size = self.chunk.get().max(4096);
         let sizes: Vec<u64> = weights
@@ -130,9 +131,12 @@ impl Workload for Synthetic {
                     }
                 }
             }
-            AccessPattern::RandomHotCold { hot_fraction, hot_weight } => {
-                let hot_n = ((self.files as f64 * hot_fraction).ceil() as usize)
-                    .clamp(1, self.files);
+            AccessPattern::RandomHotCold {
+                hot_fraction,
+                hot_weight,
+            } => {
+                let hot_n =
+                    ((self.files as f64 * hot_fraction).ceil() as usize).clamp(1, self.files);
                 for _ in 0..self.requests {
                     let fi = if rng.gen_bool(hot_weight.clamp(0.0, 1.0)) {
                         rng.gen_range(0..hot_n)
@@ -191,7 +195,10 @@ mod tests {
 
     #[test]
     fn scan_emits_requested_count_and_validates() {
-        let w = Synthetic { requests: 50, ..base() };
+        let w = Synthetic {
+            requests: 50,
+            ..base()
+        };
         let t = w.build(1);
         assert_eq!(t.len(), 50);
         t.validate().unwrap();
@@ -203,7 +210,10 @@ mod tests {
     #[test]
     fn scan_stops_when_the_corpus_is_exhausted() {
         // 2 MB corpus in 32 KiB chunks ≈ 70 calls < the 10 000 requested.
-        let w = Synthetic { requests: 10_000, ..base() };
+        let w = Synthetic {
+            requests: 10_000,
+            ..base()
+        };
         let t = w.build(1);
         assert!(t.len() < 10_000);
         assert_eq!(t.total_bytes().get(), t.files.total_size().get());
@@ -213,19 +223,22 @@ mod tests {
     #[test]
     fn hot_cold_concentrates_accesses() {
         let w = Synthetic {
-            pattern: AccessPattern::RandomHotCold { hot_fraction: 0.1, hot_weight: 0.9 },
+            pattern: AccessPattern::RandomHotCold {
+                hot_fraction: 0.1,
+                hot_weight: 0.9,
+            },
             requests: 2_000,
             ..base()
         };
         let t = w.build(3);
         t.validate().unwrap();
         // ≥80 % of accesses land on the two hottest inodes.
-        let hot: usize = t
-            .records
-            .iter()
-            .filter(|r| r.file.0 < 90_000 + 2)
-            .count();
-        assert!(hot as f64 / 2_000.0 > 0.8, "hot share {}", hot as f64 / 2_000.0);
+        let hot: usize = t.records.iter().filter(|r| r.file.0 < 90_000 + 2).count();
+        assert!(
+            hot as f64 / 2_000.0 > 0.8,
+            "hot share {}",
+            hot as f64 / 2_000.0
+        );
     }
 
     #[test]
@@ -271,7 +284,10 @@ mod tests {
     fn synthetic_drives_the_full_pipeline() {
         // End-to-end: the synthetic trace profiles and replays.
         let w = Synthetic {
-            pattern: AccessPattern::RandomHotCold { hot_fraction: 0.2, hot_weight: 0.7 },
+            pattern: AccessPattern::RandomHotCold {
+                hot_fraction: 0.2,
+                hot_weight: 0.7,
+            },
             think_dist: Dist::exponential(3.0),
             requests: 150,
             ..base()

@@ -64,8 +64,7 @@ impl Workload for Thunderbird {
             .enumerate()
             .map(|(i, &s)| b.add_file(format!("mail/folder_{i}.mbox"), Bytes(s)))
             .collect();
-        let sup_sizes =
-            partition_sizes(&mut rng, self.support_bytes, self.support_files, 512);
+        let sup_sizes = partition_sizes(&mut rng, self.support_bytes, self.support_files, 512);
         let support: Vec<_> = sup_sizes
             .iter()
             .enumerate()
@@ -87,7 +86,14 @@ impl Workload for Thunderbird {
             // Emails live at 4 KiB-aligned offsets — close enough to mbox
             // reality and keeps page-cache behaviour clean.
             let offset = (rng.gen_range(0..=max_start) / 4096) * 4096;
-            b.read_range(TBIRD_PID, mbox, offset, Bytes(len), Bytes::kib(16), Dur::ZERO);
+            b.read_range(
+                TBIRD_PID,
+                mbox,
+                offset,
+                Bytes(len),
+                Bytes::kib(16),
+                Dur::ZERO,
+            );
             let lo = self.read_think.0.as_micros();
             let hi = self.read_think.1.as_micros();
             b.think(Dur::from_micros(rng.gen_range(lo..=hi)));
@@ -130,8 +136,10 @@ mod tests {
         // And the search phase (after the last pause) reads the bulk of
         // the data in one dense run.
         let last_pause = *long_gaps.last().unwrap();
-        let search_bytes: u64 =
-            t.records[last_pause + 1..].iter().map(|r| r.len.get()).sum();
+        let search_bytes: u64 = t.records[last_pause + 1..]
+            .iter()
+            .map(|r| r.len.get())
+            .sum();
         assert!(
             search_bytes as f64 > 0.9 * cfg.mbox_bytes as f64,
             "search re-reads the whole store"
@@ -151,7 +159,10 @@ mod tests {
         }
         for w in t.records[last_long..].windows(2) {
             let gap = w[1].ts.saturating_since(w[0].end());
-            assert!(gap < Dur::from_millis(20), "gap {gap} splits the search burst");
+            assert!(
+                gap < Dur::from_millis(20),
+                "gap {gap} splits the search burst"
+            );
         }
     }
 

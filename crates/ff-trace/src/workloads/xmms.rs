@@ -100,23 +100,38 @@ mod tests {
 
     #[test]
     fn requests_are_spaced_below_disk_timeout() {
-        let x = Xmms { play_limit: Some(Dur::from_secs(120)), ..Xmms::default() };
+        let x = Xmms {
+            play_limit: Some(Dur::from_secs(120)),
+            ..Xmms::default()
+        };
         let t = x.build(1);
         // Gaps keep the disk alive (< 20 s) yet are long enough to break
         // I/O bursts (> 20 ms).
         for w in t.records.windows(2) {
             let gap = w[1].ts.saturating_since(w[0].end());
-            assert!(gap < Dur::from_secs(20), "gap {gap} would let the disk spin down");
-            assert!(gap > Dur::from_millis(20), "gap {gap} merges refills into one burst");
+            assert!(
+                gap < Dur::from_secs(20),
+                "gap {gap} would let the disk spin down"
+            );
+            assert!(
+                gap > Dur::from_millis(20),
+                "gap {gap} merges refills into one burst"
+            );
         }
     }
 
     #[test]
     fn play_limit_bounds_the_run() {
-        let x = Xmms { play_limit: Some(Dur::from_secs(60)), ..Xmms::default() };
+        let x = Xmms {
+            play_limit: Some(Dur::from_secs(60)),
+            ..Xmms::default()
+        };
         let t = x.build(2);
         let span = t.stats().span;
-        assert!(span >= Dur::from_secs(55) && span < Dur::from_secs(75), "span {span}");
+        assert!(
+            span >= Dur::from_secs(55) && span < Dur::from_secs(75),
+            "span {span}"
+        );
     }
 
     #[test]
@@ -129,7 +144,12 @@ mod tests {
 
     #[test]
     fn songs_are_read_sequentially() {
-        let x = Xmms { files: 2, total_bytes: 400_000, play_limit: None, ..Xmms::default() };
+        let x = Xmms {
+            files: 2,
+            total_bytes: 400_000,
+            play_limit: None,
+            ..Xmms::default()
+        };
         let t = x.build(4);
         // Within one file, offsets must be non-decreasing.
         let mut last: std::collections::HashMap<u64, u64> = Default::default();

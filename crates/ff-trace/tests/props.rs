@@ -3,8 +3,8 @@
 
 use ff_base::{Bytes, Dur};
 use ff_trace::{
-    strace, Acroread, DiskLayout, Grep, Make, Mplayer, StraceImporter, Thunderbird,
-    Trace, Workload, Xmms,
+    strace, Acroread, DiskLayout, Grep, Make, Mplayer, StraceImporter, Thunderbird, Trace,
+    Workload, Xmms,
 };
 use proptest::prelude::*;
 
@@ -15,15 +15,49 @@ fn generators_valid_for_many_seeds() {
     // Deterministic seed scan (cheaper than proptest for the big ones).
     for seed in [0, 1, 7, 999, u64::MAX] {
         for w in [
-            &Grep { files: 40, total_bytes: 2_000_000, ..Default::default() } as &dyn Workload,
-            &Make { units: 10, headers: 20, misc: 2, input_bytes: 800_000, ..Default::default() },
-            &Xmms { files: 10, total_bytes: 2_000_000, play_limit: Some(Dur::from_secs(60)), ..Default::default() },
-            &Mplayer { support_files: 10, support_bytes: 100_000, movie_bytes: 2_000_000, play_limit: Some(Dur::from_secs(30)), ..Default::default() },
-            &Thunderbird { mboxes: 3, mbox_bytes: 9_000_000, support_files: 10, support_bytes: 50_000, emails_read: 3, ..Default::default() },
-            &Acroread { files: 3, file_bytes: 500_000, searches: 3, ..Acroread::large_search() },
+            &Grep {
+                files: 40,
+                total_bytes: 2_000_000,
+                ..Default::default()
+            } as &dyn Workload,
+            &Make {
+                units: 10,
+                headers: 20,
+                misc: 2,
+                input_bytes: 800_000,
+                ..Default::default()
+            },
+            &Xmms {
+                files: 10,
+                total_bytes: 2_000_000,
+                play_limit: Some(Dur::from_secs(60)),
+                ..Default::default()
+            },
+            &Mplayer {
+                support_files: 10,
+                support_bytes: 100_000,
+                movie_bytes: 2_000_000,
+                play_limit: Some(Dur::from_secs(30)),
+                ..Default::default()
+            },
+            &Thunderbird {
+                mboxes: 3,
+                mbox_bytes: 9_000_000,
+                support_files: 10,
+                support_bytes: 50_000,
+                emails_read: 3,
+                ..Default::default()
+            },
+            &Acroread {
+                files: 3,
+                file_bytes: 500_000,
+                searches: 3,
+                ..Acroread::large_search()
+            },
         ] {
             let t = w.build(seed);
-            t.validate().unwrap_or_else(|e| panic!("{} seed {seed}: {e}", w.name()));
+            t.validate()
+                .unwrap_or_else(|e| panic!("{} seed {seed}: {e}", w.name()));
             assert!(!t.is_empty(), "{} seed {seed} empty", w.name());
         }
     }

@@ -22,7 +22,11 @@ fn forced_spinup() {
         .concat(&Make::default().build(42), Dur::from_secs(2))
         .unwrap();
     let span = gm.stats().span + Dur::from_secs(30);
-    let xmms = Xmms { play_limit: Some(span), ..Default::default() }.build(42);
+    let xmms = Xmms {
+        play_limit: Some(span),
+        ..Default::default()
+    }
+    .build(42);
     let pinned: Vec<FileId> = xmms.files.iter().map(|f| f.id).collect();
     let trace = gm.merge(&xmms).unwrap();
 
@@ -43,8 +47,13 @@ fn forced_spinup() {
         .unwrap();
     println!("  FlexFetch         {}", adaptive.total_energy());
     println!("  FlexFetch-static  {}", static_.total_energy());
-    let saving = static_.total_energy().relative_saving(adaptive.total_energy());
-    println!("  adaptation saves  {:.0}% (free-rides the xmms-powered disk)\n", saving * 100.0);
+    let saving = static_
+        .total_energy()
+        .relative_saving(adaptive.total_energy());
+    println!(
+        "  adaptation saves  {:.0}% (free-rides the xmms-powered disk)\n",
+        saving * 100.0
+    );
 }
 
 fn invalid_profile() {

@@ -21,7 +21,10 @@ fn main() {
         size_dist: Dist::log_normal(500_000.0, 1.2),
         chunk: Bytes::kib(16),
         think_dist: Dist::exponential(3.0),
-        pattern: AccessPattern::RandomHotCold { hot_fraction: 0.1, hot_weight: 0.8 },
+        pattern: AccessPattern::RandomHotCold {
+            hot_fraction: 0.1,
+            hot_weight: 0.8,
+        },
         requests: 400,
         base_inode: 90_000,
         pid: 900,
@@ -39,7 +42,10 @@ fn main() {
         a.top_decile_share * 100.0
     );
 
-    println!("{:<16} {:>12} {:>12} {:>10}", "config", "FlexFetch", "best fixed", "winner");
+    println!(
+        "{:<16} {:>12} {:>12} {:>10}",
+        "config", "FlexFetch", "best fixed", "winner"
+    );
     for (label, flash_mb) in [("plain", 0usize), ("with 128MB flash", 128)] {
         let cfg = || {
             let mut c = SimConfig::default();
@@ -52,13 +58,21 @@ fn main() {
             c
         };
         let run = |kind: PolicyKind| {
-            Simulation::new(cfg(), &trace).policy(kind).run().unwrap().total_energy().get()
+            Simulation::new(cfg(), &trace)
+                .policy(kind)
+                .run()
+                .unwrap()
+                .total_energy()
+                .get()
         };
         let ff = run(PolicyKind::flexfetch(profile.clone()));
         let disk = run(PolicyKind::DiskOnly);
         let wnic = run(PolicyKind::WnicOnly);
-        let (best, who) =
-            if disk <= wnic { (disk, "Disk-only") } else { (wnic, "WNIC-only") };
+        let (best, who) = if disk <= wnic {
+            (disk, "Disk-only")
+        } else {
+            (wnic, "WNIC-only")
+        };
         println!("{label:<16} {ff:>11.1}J {best:>11.1}J {who:>10}");
     }
     println!("\nSparse small reads sit deep in WNIC territory (§1.1) and FlexFetch");

@@ -24,10 +24,20 @@ fn main() {
             .policy(PolicyKind::flexfetch(profile.clone()))
             .run()
             .unwrap();
-        let disk = Simulation::new(cfg(), &trace).policy(PolicyKind::DiskOnly).run().unwrap();
-        let wnic = Simulation::new(cfg(), &trace).policy(PolicyKind::WnicOnly).run().unwrap();
+        let disk = Simulation::new(cfg(), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run()
+            .unwrap();
+        let wnic = Simulation::new(cfg(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
         // Where did FlexFetch route the stream?
-        let source = if ff.wnic_bytes > ff.disk_bytes { "wireless" } else { "disk" };
+        let source = if ff.wnic_bytes > ff.disk_bytes {
+            "wireless"
+        } else {
+            "disk"
+        };
         println!(
             "{:<9} {:>12} {:>12} {:>12}  {}",
             mbps,

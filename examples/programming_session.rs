@@ -15,7 +15,9 @@ fn main() {
     // grep (dense scan) followed by make (minutes of sparse small I/O).
     let grep = Grep::default().build(42);
     let make = Make::default().build(42);
-    let trace = grep.concat(&make, Dur::from_secs(2)).expect("disjoint inode spaces");
+    let trace = grep
+        .concat(&make, Dur::from_secs(2))
+        .expect("disjoint inode spaces");
 
     // Profile from a prior execution of the same session.
     let prior = Grep::default()
@@ -31,7 +33,10 @@ fn main() {
 
     println!("{}", report.summary());
     println!("\nevaluation stages completed: {}", report.stages);
-    println!("bytes from disk: {}  |  bytes over WNIC: {}", report.disk_bytes, report.wnic_bytes);
+    println!(
+        "bytes from disk: {}  |  bytes over WNIC: {}",
+        report.disk_bytes, report.wnic_bytes
+    );
     println!("\nFlexFetch decision timeline:");
     for (t, source, why) in &report.decisions {
         println!("  t={:<12} -> {:<5} ({why})", t.to_string(), source.label());
@@ -39,8 +44,15 @@ fn main() {
 
     // Compare against the baselines at the same configuration.
     println!("\nbaselines:");
-    for kind in [PolicyKind::BlueFs, PolicyKind::DiskOnly, PolicyKind::WnicOnly] {
-        let r = Simulation::new(SimConfig::default(), &trace).policy(kind).run().unwrap();
+    for kind in [
+        PolicyKind::BlueFs,
+        PolicyKind::DiskOnly,
+        PolicyKind::WnicOnly,
+    ] {
+        let r = Simulation::new(SimConfig::default(), &trace)
+            .policy(kind)
+            .run()
+            .unwrap();
         println!("  {:<12} {}", r.policy, r.total_energy());
     }
 }

@@ -55,7 +55,9 @@ fn main() {
             battery.task_drain_pct(&report)
         );
     }
-    println!("
-(battery drain = I/O energy + 8 W platform draw over the task,");
+    println!(
+        "
+(battery drain = I/O energy + 8 W platform draw over the task,"
+    );
     println!(" as a share of a 50 Wh pack — slow policies pay for their time)");
 }

@@ -15,8 +15,11 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("temp dir");
 
     // Generate and persist a trace in the strace-like text format.
-    let trace = Xmms { play_limit: Some(flexfetch::base::Dur::from_secs(120)), ..Default::default() }
-        .build(7);
+    let trace = Xmms {
+        play_limit: Some(flexfetch::base::Dur::from_secs(120)),
+        ..Default::default()
+    }
+    .build(7);
     let trace_path = dir.join("xmms.trace");
     std::fs::write(&trace_path, strace::to_string(&trace)).expect("write trace");
     println!("wrote {} ({} records)", trace_path.display(), trace.len());

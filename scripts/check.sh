@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, static analysis, build, tests.
+#
+# This is the same sequence CI (and the tier-1 acceptance check) runs;
+# a clean `./scripts/check.sh` means the tree is mergeable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> ff-lint (ratchet vs crates/ff-lint/baseline.json)"
+cargo run -q -p ff-lint
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> all checks passed"

@@ -100,8 +100,7 @@ fn parse_args() -> Args {
                 args.latency_ms = val("--latency-ms").parse().unwrap_or_else(|_| usage())
             }
             "--bandwidth-mbps" => {
-                args.bandwidth_mbps =
-                    val("--bandwidth-mbps").parse().unwrap_or_else(|_| usage())
+                args.bandwidth_mbps = val("--bandwidth-mbps").parse().unwrap_or_else(|_| usage())
             }
             "--loss-rate" => {
                 args.loss_rate = val("--loss-rate").parse().unwrap_or_else(|_| usage())
@@ -167,7 +166,11 @@ fn build_workload(name: &str, seed: u64) -> (Trace, Profile, Vec<FileId>) {
                 .concat(&Make::default().build(seed), Dur::from_secs(2))
                 .expect("disjoint inodes");
             let span = gm.stats().span + Dur::from_secs(30);
-            let xmms = Xmms { play_limit: Some(span), ..Default::default() }.build(seed);
+            let xmms = Xmms {
+                play_limit: Some(span),
+                ..Default::default()
+            }
+            .build(seed);
             let pinned = xmms.files.iter().map(|f| f.id).collect();
             let prior = Grep::default()
                 .build(seed + 1)
@@ -183,11 +186,21 @@ fn build_workload(name: &str, seed: u64) -> (Trace, Profile, Vec<FileId>) {
 }
 
 fn policies(name: &str, profile: &Profile, loss: f64, stage: Dur) -> Vec<PolicyKind> {
-    let ff_cfg = FlexFetchConfig { loss_rate: loss, stage_len: stage, ..Default::default() };
-    let ff = PolicyKind::FlexFetch { profile: profile.clone(), config: ff_cfg.clone() };
+    let ff_cfg = FlexFetchConfig {
+        loss_rate: loss,
+        stage_len: stage,
+        ..Default::default()
+    };
+    let ff = PolicyKind::FlexFetch {
+        profile: profile.clone(),
+        config: ff_cfg.clone(),
+    };
     let ff_static = PolicyKind::FlexFetch {
         profile: profile.clone(),
-        config: FlexFetchConfig { adaptive: false, ..ff_cfg },
+        config: FlexFetchConfig {
+            adaptive: false,
+            ..ff_cfg
+        },
     };
     match name {
         "flexfetch" => vec![ff],
@@ -213,8 +226,12 @@ fn policies(name: &str, profile: &Profile, loss: f64, stage: Dur) -> Vec<PolicyK
 fn report_section(report: &ff_sim::SimReport) -> String {
     use std::fmt::Write as _;
     let mut md = String::new();
-    let _ = writeln!(md, "## {}
-", report.policy);
+    let _ = writeln!(
+        md,
+        "## {}
+",
+        report.policy
+    );
     let _ = writeln!(
         md,
         "| total energy | disk | wnic | flash | exec time | cache hit |
@@ -228,10 +245,16 @@ fn report_section(report: &ff_sim::SimReport) -> String {
         report.exec_time.as_secs_f64(),
         report.hit_ratio() * 100.0
     );
-    let _ = writeln!(md, "### Device state residency
-");
-    let _ = writeln!(md, "| device | state | time | energy |
-|---|---|---|---|");
+    let _ = writeln!(
+        md,
+        "### Device state residency
+"
+    );
+    let _ = writeln!(
+        md,
+        "| device | state | time | energy |
+|---|---|---|---|"
+    );
     for (s, d, e) in report.disk_meter.residencies() {
         let _ = writeln!(md, "| disk | {s} | {d} | {e} |");
     }
@@ -246,18 +269,27 @@ fn report_section(report: &ff_sim::SimReport) -> String {
     }
     md.push('\n');
     if !report.decisions.is_empty() {
-        let _ = writeln!(md, "### Decision timeline
-");
+        let _ = writeln!(
+            md,
+            "### Decision timeline
+"
+        );
         for (t, s, why) in &report.decisions {
             let _ = writeln!(md, "* `{t}` → **{}** ({why})", s.label());
         }
         md.push('\n');
     }
     if !report.stage_summaries.is_empty() {
-        let _ = writeln!(md, "### Evaluation stages
-");
-        let _ = writeln!(md, "| # | window | disk | wnic | mean power | fetched |
-|---|---|---|---|---|---|");
+        let _ = writeln!(
+            md,
+            "### Evaluation stages
+"
+        );
+        let _ = writeln!(
+            md,
+            "| # | window | disk | wnic | mean power | fetched |
+|---|---|---|---|---|---|"
+        );
         for s in &report.stage_summaries {
             let _ = writeln!(
                 md,
@@ -298,8 +330,7 @@ fn main() {
         cfg = cfg.with_sync_writes();
     }
     if let Some(mb) = args.hoard_budget_mb {
-        let plan =
-            HoardPlanner::new(Bytes(mb * 1_000_000)).plan(&profile, &trace.files);
+        let plan = HoardPlanner::new(Bytes(mb * 1_000_000)).plan(&profile, &trace.files);
         println!(
             "hoard: {} files / {} local, {} server-only",
             plan.hoarded.len(),

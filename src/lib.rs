@@ -48,7 +48,5 @@ pub mod prelude {
     pub use ff_policy::PolicyKind;
     pub use ff_profile::{Profile, Profiler};
     pub use ff_sim::{SimConfig, SimReport, Simulation};
-    pub use ff_trace::{
-        Acroread, Grep, Make, Mplayer, Thunderbird, Trace, Workload, Xmms,
-    };
+    pub use ff_trace::{Acroread, Grep, Make, Mplayer, Thunderbird, Trace, Workload, Xmms};
 }

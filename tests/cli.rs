@@ -29,9 +29,19 @@ fn small_run_reports_every_policy() {
         .args(["--workload", "xmms", "--policy", "all"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    for name in ["FlexFetch", "FlexFetch-static", "BlueFS", "Disk-only", "WNIC-only"] {
+    for name in [
+        "FlexFetch",
+        "FlexFetch-static",
+        "BlueFS",
+        "Disk-only",
+        "WNIC-only",
+    ] {
         assert!(text.contains(name), "missing {name} in:\n{text}");
     }
 }
@@ -59,14 +69,17 @@ fn artefacts_round_trip_through_the_cli() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // The dumped artefacts parse with the library.
     let text = std::fs::read_to_string(&trace_path).unwrap();
     let trace = flexfetch::trace::strace::from_str(&text).unwrap();
     assert_eq!(trace.files.len(), 1332);
-    let profile =
-        flexfetch::profile::Profile::load(&profile_path).unwrap();
+    let profile = flexfetch::profile::Profile::load(&profile_path).unwrap();
     assert!(!profile.is_empty());
     let report = std::fs::read_to_string(&report_path).unwrap();
     assert!(report.contains("# flexsim report"));
@@ -92,7 +105,14 @@ fn environment_flags_change_results() {
 #[test]
 fn hoard_budget_prints_the_plan() {
     let out = flexsim()
-        .args(["--workload", "xmms", "--policy", "flexfetch", "--hoard-budget-mb", "10"])
+        .args([
+            "--workload",
+            "xmms",
+            "--policy",
+            "flexfetch",
+            "--hoard-budget-mb",
+            "10",
+        ])
         .output()
         .expect("spawn");
     assert!(out.status.success());

@@ -19,7 +19,11 @@ fn run(scenario: &Scenario, kind: PolicyKind, cfg: SimConfig) -> Joules {
 }
 
 fn four(scenario: &Scenario, cfg: SimConfig) -> (f64, f64, f64, f64) {
-    let ff = run(scenario, PolicyKind::flexfetch(scenario.profile.clone()), cfg.clone());
+    let ff = run(
+        scenario,
+        PolicyKind::flexfetch(scenario.profile.clone()),
+        cfg.clone(),
+    );
     let bf = run(scenario, PolicyKind::BlueFs, cfg.clone());
     let disk = run(scenario, PolicyKind::DiskOnly, cfg.clone());
     let wnic = run(scenario, PolicyKind::WnicOnly, cfg);
@@ -36,8 +40,14 @@ fn fig1_low_latency_orderings() {
     // BlueFS burns both devices and lands worst.
     assert!(ff < wnic, "FlexFetch {ff} must beat WNIC-only {wnic}");
     assert!(wnic < disk, "WNIC-only {wnic} must beat Disk-only {disk}");
-    assert!(bluefs > wnic, "BlueFS {bluefs} must exceed WNIC-only {wnic}");
-    assert!(bluefs > disk * 0.95, "BlueFS {bluefs} must be at Disk-only scale {disk}");
+    assert!(
+        bluefs > wnic,
+        "BlueFS {bluefs} must exceed WNIC-only {wnic}"
+    );
+    assert!(
+        bluefs > disk * 0.95,
+        "BlueFS {bluefs} must be at Disk-only scale {disk}"
+    );
 }
 
 #[test]
@@ -63,11 +73,20 @@ fn fig1_bandwidth_crossover() {
     let cfg = |mbps: f64| SimConfig::default().with_wnic_bandwidth_mbps(mbps);
     let wnic_1 = run(&s, PolicyKind::WnicOnly, cfg(1.0));
     let disk_1 = run(&s, PolicyKind::DiskOnly, cfg(1.0));
-    assert!(wnic_1 > disk_1, "1 Mbps WNIC-only {wnic_1} must exceed Disk-only {disk_1}");
+    assert!(
+        wnic_1 > disk_1,
+        "1 Mbps WNIC-only {wnic_1} must exceed Disk-only {disk_1}"
+    );
     let ff_1 = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg(1.0));
     let ff_11 = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg(11.0));
-    assert!(ff_11 < ff_1, "FlexFetch must benefit from bandwidth: {ff_1} -> {ff_11}");
-    assert!(ff_1 < wnic_1, "FlexFetch must escape the slow link: {ff_1} vs {wnic_1}");
+    assert!(
+        ff_11 < ff_1,
+        "FlexFetch must benefit from bandwidth: {ff_1} -> {ff_11}"
+    );
+    assert!(
+        ff_1 < wnic_1,
+        "FlexFetch must escape the slow link: {ff_1} vs {wnic_1}"
+    );
 }
 
 // ---------------------------------------------------------------- Fig 2
@@ -78,9 +97,18 @@ fn fig2_flexfetch_tracks_wnic_only() {
     let (ff, bluefs, disk, wnic) = four(&s, SimConfig::default());
     // §3.3.2: FlexFetch ≈ WNIC-only (within 10 %); BlueFS even higher
     // than Disk-only; Disk-only wasteful for paced streaming.
-    assert!((ff - wnic).abs() / wnic < 0.10, "FlexFetch {ff} !≈ WNIC-only {wnic}");
-    assert!(bluefs > disk, "BlueFS {bluefs} must exceed Disk-only {disk} (ghost-hint waste)");
-    assert!(ff < disk * 0.85, "streaming on the disk must be clearly worse");
+    assert!(
+        (ff - wnic).abs() / wnic < 0.10,
+        "FlexFetch {ff} !≈ WNIC-only {wnic}"
+    );
+    assert!(
+        bluefs > disk,
+        "BlueFS {bluefs} must exceed Disk-only {disk} (ghost-hint waste)"
+    );
+    assert!(
+        ff < disk * 0.85,
+        "streaming on the disk must be clearly worse"
+    );
 }
 
 #[test]
@@ -109,8 +137,14 @@ fn fig3_orderings() {
     // WNIC-only below Disk-only at low latency.
     assert!(ff < bluefs, "FlexFetch {ff} must beat BlueFS {bluefs}");
     assert!(ff < wnic && ff < disk, "FlexFetch must win outright");
-    assert!(wnic < disk, "WNIC-only {wnic} must beat Disk-only {disk} at 0 ms");
-    assert!(disk > bluefs, "interactive reads make Disk-only the worst fixed scheme");
+    assert!(
+        wnic < disk,
+        "WNIC-only {wnic} must beat Disk-only {disk} at 0 ms"
+    );
+    assert!(
+        disk > bluefs,
+        "interactive reads make Disk-only the worst fixed scheme"
+    );
 }
 
 #[test]
@@ -140,7 +174,11 @@ fn fig4_free_riding_beats_static() {
     let s = Scenario::grep_make_xmms(42);
     let cfg = SimConfig::default();
     let ff = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg.clone());
-    let stat = run(&s, PolicyKind::flexfetch_static(s.profile.clone()), cfg.clone());
+    let stat = run(
+        &s,
+        PolicyKind::flexfetch_static(s.profile.clone()),
+        cfg.clone(),
+    );
     let disk = run(&s, PolicyKind::DiskOnly, cfg);
     // §3.3.4: with xmms pinning the disk awake, adaptive FlexFetch rides
     // it (≈ Disk-only) while the static variant wastes the WNIC.
@@ -175,7 +213,11 @@ fn fig5_invalid_profile_corrected_after_one_stage() {
     let s = Scenario::acroread_invalid(42);
     let cfg = SimConfig::default().with_wnic_latency(Dur::from_millis(10));
     let ff = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg.clone());
-    let stat = run(&s, PolicyKind::flexfetch_static(s.profile.clone()), cfg.clone());
+    let stat = run(
+        &s,
+        PolicyKind::flexfetch_static(s.profile.clone()),
+        cfg.clone(),
+    );
     let bluefs = run(&s, PolicyKind::BlueFs, cfg);
     // §3.3.5 at 10 ms: FlexFetch ~36 % below FlexFetch-static but ~15 %
     // above BlueFS (one stage is wasted probing the stale profile).
@@ -183,7 +225,10 @@ fn fig5_invalid_profile_corrected_after_one_stage() {
         ff.get() < stat.get() * 0.80,
         "audit must save ≥20% over static: {ff} vs {stat}"
     );
-    assert!(ff > bluefs, "one wasted stage must cost something: {ff} vs {bluefs}");
+    assert!(
+        ff > bluefs,
+        "one wasted stage must cost something: {ff} vs {bluefs}"
+    );
     assert!(
         ff.get() < bluefs.get() * 1.30,
         "but no more than ~one stage's worth: {ff} vs {bluefs}"
@@ -222,9 +267,15 @@ fn fig5_decision_flips_exactly_at_first_stage_boundary() {
         .policy(PolicyKind::flexfetch(s.profile.clone()))
         .run()
         .unwrap();
-    let flips: Vec<_> =
-        report.decisions.iter().filter(|(_, _, why)| *why == "audit:flip").collect();
-    assert!(!flips.is_empty(), "the stale profile must trigger an audit flip");
+    let flips: Vec<_> = report
+        .decisions
+        .iter()
+        .filter(|(_, _, why)| *why == "audit:flip")
+        .collect();
+    assert!(
+        !flips.is_empty(),
+        "the stale profile must trigger an audit flip"
+    );
     assert_eq!(
         flips[0].0.as_micros(),
         40_000_000,

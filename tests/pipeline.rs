@@ -7,7 +7,13 @@ use flexfetch::prelude::*;
 use flexfetch::trace::strace;
 
 fn small_make() -> Make {
-    Make { units: 25, headers: 50, misc: 4, input_bytes: 2_500_000, ..Default::default() }
+    Make {
+        units: 25,
+        headers: 50,
+        misc: 4,
+        input_bytes: 2_500_000,
+        ..Default::default()
+    }
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn recorded_profile_feeds_the_next_run() {
         .policy(PolicyKind::flexfetch(Profile::empty("make")))
         .run()
         .unwrap();
-    let recorded = run1.recorded_profile.clone().expect("FlexFetch records a profile");
+    let recorded = run1
+        .recorded_profile
+        .clone()
+        .expect("FlexFetch records a profile");
     assert!(!recorded.is_empty());
     // The recorded profile covers the run's I/O (cache hits included —
     // §2.1 records system calls, not device traffic).
@@ -74,7 +83,11 @@ fn recorded_profile_feeds_the_next_run() {
 fn concurrent_programs_merge_profiles() {
     // §2.3.3: concurrently running programs form an aggregate profile.
     let a = Profiler::standard().profile(&small_make().build(31));
-    let xt = Xmms { play_limit: Some(Dur::from_secs(60)), ..Default::default() }.build(31);
+    let xt = Xmms {
+        play_limit: Some(Dur::from_secs(60)),
+        ..Default::default()
+    }
+    .build(31);
     let b = Profiler::standard().profile(&xt);
     let merged = a.merge_concurrent(&b);
     assert_eq!(merged.len(), a.len() + b.len());
@@ -92,7 +105,10 @@ fn concurrent_profiled_programs_share_flexfetch() {
     // stages on the aggregate profile." Two profiled programs run
     // concurrently; FlexFetch drives both from the merged profile.
     let make = small_make();
-    let xmms = Xmms { play_limit: Some(Dur::from_secs(90)), ..Default::default() };
+    let xmms = Xmms {
+        play_limit: Some(Dur::from_secs(90)),
+        ..Default::default()
+    };
 
     let trace = make.build(61).merge(&xmms.build(61)).unwrap();
     let p_make = Profiler::standard().profile(&make.build(62));
@@ -121,7 +137,11 @@ fn concurrent_profiled_programs_share_flexfetch() {
 
 #[test]
 fn stage_boundaries_report_progress() {
-    let xt = Xmms { play_limit: Some(Dur::from_secs(200)), ..Default::default() }.build(5);
+    let xt = Xmms {
+        play_limit: Some(Dur::from_secs(200)),
+        ..Default::default()
+    }
+    .build(5);
     let report = Simulation::new(SimConfig::default(), &xt)
         .policy(PolicyKind::flexfetch(Profile::empty("xmms")))
         .run()
@@ -143,14 +163,25 @@ fn energy_balance_across_policies_is_sane() {
         PolicyKind::BlueFs,
         PolicyKind::flexfetch(Profile::empty("make")),
     ] {
-        let r = Simulation::new(SimConfig::default(), &trace).policy(kind).run().unwrap();
+        let r = Simulation::new(SimConfig::default(), &trace)
+            .policy(kind)
+            .run()
+            .unwrap();
         let secs = r.exec_time.as_secs_f64();
         let floor = (0.15 + 0.39) * secs * 0.9;
         let ceiling = (2.0 + 3.69) * secs + 1000.0;
         let e = r.total_energy().get();
         assert!(e > floor, "{}: {e} below physical floor {floor}", r.policy);
-        assert!(e < ceiling, "{}: {e} above physical ceiling {ceiling}", r.policy);
-        assert!(r.exec_time >= Dur::from_secs(30), "{}: replay too fast", r.policy);
+        assert!(
+            e < ceiling,
+            "{}: {e} above physical ceiling {ceiling}",
+            r.policy
+        );
+        assert!(
+            r.exec_time >= Dur::from_secs(30),
+            "{}: replay too fast",
+            r.policy
+        );
     }
 }
 
@@ -158,7 +189,11 @@ fn energy_balance_across_policies_is_sane() {
 fn cache_effects_shrink_device_traffic_not_profile() {
     // Re-reading the same files: profile sees all syscalls, devices see
     // only the cold pass.
-    let grep = Grep { files: 25, total_bytes: 1_000_000, ..Default::default() };
+    let grep = Grep {
+        files: 25,
+        total_bytes: 1_000_000,
+        ..Default::default()
+    };
     let once = grep.build(51);
     let twice = once.concat(&grep.build(51), Dur::from_secs(1)).unwrap();
     let r = Simulation::new(SimConfig::default(), &twice)
@@ -166,7 +201,11 @@ fn cache_effects_shrink_device_traffic_not_profile() {
         .run()
         .unwrap();
     let profile = r.recorded_profile.unwrap();
-    assert_eq!(profile.total_bytes(), Bytes(2_000_000), "profile is device-independent");
+    assert_eq!(
+        profile.total_bytes(),
+        Bytes(2_000_000),
+        "profile is device-independent"
+    );
     let fetched = r.disk_bytes + r.wnic_bytes;
     assert!(
         fetched.get() < 1_700_000,

@@ -10,7 +10,19 @@ use proptest::prelude::*;
 /// Strategy: a small random-but-valid trace over up to 8 files.
 fn arb_trace() -> impl Strategy<Value = Trace> {
     let sizes = proptest::collection::vec(4096u64..2_000_000, 1..8);
-    (sizes, proptest::collection::vec((0u64..8, 0.0f64..1.0, 1u64..200_000, 0u64..3_000_000, any::<bool>()), 1..60))
+    (
+        sizes,
+        proptest::collection::vec(
+            (
+                0u64..8,
+                0.0f64..1.0,
+                1u64..200_000,
+                0u64..3_000_000,
+                any::<bool>(),
+            ),
+            1..60,
+        ),
+    )
         .prop_map(|(sizes, raw)| {
             let mut t = Trace::new("prop");
             for (i, &s) in sizes.iter().enumerate() {

@@ -1,0 +1,173 @@
+//! Offline, std-only subset of the `criterion` benchmarking API.
+//!
+//! Provides just enough surface for the `ff-bench` benches to compile
+//! and produce useful wall-clock numbers: `Criterion::bench_function`,
+//! `Bencher::{iter, iter_batched}`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros. No statistics engine —
+//! each benchmark runs a warm-up, then a fixed measurement window, and
+//! prints mean time per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value hint.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost. All variants behave the
+/// same here (setup is always excluded from timing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warmup: self.warmup,
+            measure: self.measure,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.elapsed / b.iters.max(1) as u32
+        };
+        println!("{name:<44} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Open a named group of related benchmarks. The group id prefixes
+    /// each benchmark name in the output.
+    pub fn benchmark_group(&mut self, id: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            id: id.to_owned(),
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration, mirroring
+/// `criterion::BenchmarkGroup`. `sample_size` is accepted for API
+/// compatibility but ignored — this shim measures a fixed wall-clock
+/// window rather than a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    id: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted and ignored (no statistics engine here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Register and immediately run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group. A no-op: benchmarks run eagerly.
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure repeatedly.
+#[derive(Debug)]
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` with no per-iteration setup.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Time `routine` with an untimed `setup` producing each iteration's
+    /// input.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_end = Instant::now() + self.warmup;
+        while Instant::now() < warm_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut timed = Duration::ZERO;
+        let mut iters = 0u64;
+        let window_start = Instant::now();
+        while window_start.elapsed() < self.measure {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            iters += 1;
+        }
+        self.elapsed = timed;
+        self.iters = iters;
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,105 @@
+//! Offline, std-only subset of `crossbeam`: scoped threads.
+//!
+//! `crossbeam::scope` predates `std::thread::scope`; this shim maps the
+//! crossbeam API onto the std implementation. The visible differences
+//! from upstream are cosmetic: the error payload of a panicked scope is
+//! the panic payload itself rather than a collected `Vec`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    //! Scoped-thread module mirroring `crossbeam::thread`.
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// Result of a scope: `Err` if any unjoined spawned thread panicked.
+pub type ScopeResult<R> = Result<R, Box<dyn std::any::Any + Send + 'static>>;
+
+/// Handle to a scoped worker thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the thread, returning its result or its panic payload.
+    pub fn join(self) -> ScopeResult<T> {
+        self.inner.join()
+    }
+}
+
+/// A spawn scope tied to the enclosing `scope` call.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker; the closure receives the scope again so workers
+    /// can spawn sub-workers (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Run `f` with a scope in which borrowing, scoped threads can be
+/// spawned. Returns `Err` with the panic payload if a worker panicked.
+pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn workers_mutate_borrowed_state() {
+        let mut slots = vec![0u64; 8];
+        let total = AtomicU64::new(0);
+        let out = scope(|s| {
+            for (i, chunk) in slots.chunks_mut(2).enumerate() {
+                let total = &total;
+                s.spawn(move |_| {
+                    for (j, slot) in chunk.iter_mut().enumerate() {
+                        *slot = (i * 2 + j) as u64;
+                        total.fetch_add(*slot, Ordering::Relaxed);
+                    }
+                });
+            }
+            42
+        })
+        .expect("no worker panicked");
+        assert_eq!(out, 42);
+        assert_eq!(slots, (0..8).collect::<Vec<u64>>());
+        assert_eq!(total.load(Ordering::Relaxed), 28);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err() {
+        let r = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let r = scope(|s| {
+            let h = s.spawn(|_| 7u32);
+            h.join().expect("worker ok")
+        })
+        .expect("scope ok");
+        assert_eq!(r, 7);
+    }
+}

@@ -1,0 +1,23 @@
+//! Runner configuration (`ProptestConfig` subset).
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated inputs per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the full-stack property
+        // suites fast while still exploring a useful slice of the space.
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,252 @@
+//! Offline, std-only subset of the `proptest` API.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the slice of `proptest` its test suites use: the [`proptest!`] macro,
+//! `prop_assert*` macros, range/tuple/vec/map strategies and
+//! `any::<T>()`.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs via
+//!   the panic message; it is not minimised.
+//! * **Deterministic seeding.** Each test's input stream is derived from
+//!   the test's name, so a failure reproduces on every run and on every
+//!   machine — the same reproducibility contract as the simulator
+//!   itself. Set `PROPTEST_SEED` to explore a different stream.
+//! * Default case count is 64 (`ProptestConfig::with_cases` overrides).
+
+pub mod collection;
+pub mod config;
+pub mod strategy;
+
+pub mod prelude {
+    //! Everything the test suites import.
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use config::ProptestConfig;
+pub use strategy::{any, Just, Strategy};
+
+/// The generator driving strategies: xoshiro256++ (matches the vendored
+/// `rand` shim, but kept self-contained so `proptest` has no deps).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Deterministic stream for a named test. `PROPTEST_SEED` (a u64)
+    /// perturbs every stream at once for exploratory runs.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name, mixed with the optional env seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.trim().parse::<u64>() {
+                h ^= n.rotate_left(17);
+            }
+        }
+        let mut sm = h;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+}
+
+/// The per-test harness: runs `cases` generated inputs through `body`.
+/// Used by the [`proptest!`] macro expansion; not public API upstream,
+/// but handy for direct calls.
+pub fn run_cases<F: FnMut(&mut TestRng, u32)>(name: &str, cases: u32, mut body: F) {
+    let mut rng = TestRng::for_test(name);
+    for case in 0..cases {
+        body(&mut rng, case);
+    }
+}
+
+/// `proptest! { #[test] fn name(x in strategy, ...) { body } ... }`
+///
+/// Each generated function runs `config.cases` iterations, drawing each
+/// argument from its strategy. Failures panic with the case number; the
+/// stream is deterministic per test name, so a failing case replays.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), config.cases, |rng, case| {
+                    let ( $($arg,)* ) =
+                        ( $( $crate::Strategy::pick(&($strat), rng) ,)* );
+                    let run = || { $body };
+                    if let Err(e) = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(run),
+                    ) {
+                        eprintln!(
+                            "proptest case {case} of {} failed (deterministic seed; \
+                             rerun reproduces it)",
+                            stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assume!(cond)` — discard the current case when the generated
+/// inputs don't satisfy a precondition. Upstream resamples; this shim
+/// simply skips the case (the case budget is not refilled), which keeps
+/// the harness panic-free.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {x}")`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            panic!("prop_assert failed: {}: {}", stringify!($cond), format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            panic!("prop_assert_eq failed: {a:?} != {b:?}");
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            panic!("prop_assert_eq failed: {a:?} != {b:?}: {}", format!($($fmt)+));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            panic!("prop_assert_ne failed: both sides are {a:?}");
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("alpha");
+        let mut b = crate::TestRng::for_test("alpha");
+        let mut c = crate::TestRng::for_test("beta");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_draws_in_range(x in 3u64..17, f in 0.0f64..1.0, flag in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuples_and_vec_compose(
+            (a, b) in (0u32..10, 0u32..10),
+            v in crate::collection::vec(0u8..4, 0..6),
+        ) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        #[test]
+        fn config_override_applies(x in 0u64..1000) {
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let s = (1u64..5).prop_map(|x| x * 10);
+        let mut rng = crate::TestRng::for_test("map");
+        for _ in 0..50 {
+            let v = s.pick(&mut rng);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Value-generation strategies.
+
+use crate::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f` (upstream `prop_map`).
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn pick(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.pick(rng))
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn pick(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_ranges {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn pick(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+int_ranges!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+
+    fn pick(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64();
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+
+    fn pick(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        let v = self.start + (self.end - self.start) * rng.unit_f64() as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($n:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+            type Value = ($($n::Value,)+);
+            fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.pick(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+);
+
+/// String strategies from a regex-like pattern, as upstream `proptest`
+/// provides for `&str`. Supported subset: one character class
+/// (`[a-z_.]`, with `-` ranges and literal members) or a literal prefix,
+/// followed by an optional `{n}`, `{m,n}`, `*` (0..=8) or `+` (1..=8)
+/// repetition. Covers the patterns the workspace's suites use, e.g.
+/// `"[ -~]{0,80}"` for printable-ASCII fuzz lines.
+impl Strategy for &str {
+    type Value = String;
+
+    fn pick(&self, rng: &mut TestRng) -> String {
+        if !self.starts_with('[') {
+            // A literal pattern generates itself.
+            return (*self).to_owned();
+        }
+        let (class, rest) = parse_class(self);
+        let (min, max) = parse_repeat(rest);
+        let n = if max > min {
+            min + rng.below((max - min + 1) as u64) as usize
+        } else {
+            min
+        };
+        let mut out = String::with_capacity(n);
+        for _ in 0..n {
+            out.push(class[rng.below(class.len() as u64) as usize]);
+        }
+        out
+    }
+}
+
+/// The alphabet of the leading class (or literal), plus the unparsed rest.
+fn parse_class(pat: &str) -> (Vec<char>, &str) {
+    let mut chars = pat.char_indices();
+    match chars.next() {
+        Some((_, '[')) => {
+            let close = pat.find(']').unwrap_or_else(|| {
+                panic!("unterminated character class in strategy pattern {pat:?}")
+            });
+            let body: Vec<char> = pat[1..close].chars().collect();
+            let mut set = Vec::new();
+            let mut i = 0;
+            while i < body.len() {
+                if i + 2 < body.len() && body[i + 1] == '-' {
+                    let (lo, hi) = (body[i], body[i + 2]);
+                    assert!(lo <= hi, "inverted range in pattern {pat:?}");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                    i += 3;
+                } else {
+                    set.push(body[i]);
+                    i += 1;
+                }
+            }
+            assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+            (set, &pat[close + 1..])
+        }
+        _ => unreachable!("parse_class called on a non-class pattern"),
+    }
+}
+
+/// Repetition bounds from a `{n}` / `{m,n}` / `*` / `+` suffix.
+fn parse_repeat(rest: &str) -> (usize, usize) {
+    match rest.chars().next() {
+        None => (1, 1),
+        Some('*') => (0, 8),
+        Some('+') => (1, 8),
+        Some('{') => {
+            let close = rest
+                .find('}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {rest:?}"));
+            let body = &rest[1..close];
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad repetition count {s:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => (parse(body), parse(body)),
+            }
+        }
+        Some(c) => panic!("unsupported pattern suffix {c:?}"),
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.unit_f64()
+    }
+}
+
+/// Strategy over a type's whole domain.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn pick(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}

@@ -1,0 +1,414 @@
+//! Offline, std-only subset of the `rand` 0.8 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `rand` it actually uses: the seedable
+//! deterministic generator ([`rngs::StdRng`]), the [`Rng`] extension
+//! methods (`gen`, `gen_range`, `gen_bool`) and [`seq::SliceRandom`].
+//!
+//! **Streams are bit-exact with upstream `rand` 0.8 / `rand_core` 0.6 /
+//! `rand_chacha` 0.3** for every code path the workspace exercises:
+//!
+//! * `StdRng` is ChaCha12 behind upstream's `BlockRng` buffering;
+//! * [`SeedableRng::seed_from_u64`] is the PCG32 seed-expansion from
+//!   `rand_core`;
+//! * `gen_range` over integers uses upstream's widening-multiply
+//!   rejection sampler with the per-type sample widths (`u8`/`u16`/`u32`
+//!   draw one `next_u32`; 64-bit types draw one `next_u64`);
+//! * `gen_range` over floats uses the `[1, 2)` mantissa-fill method;
+//! * `gen` of standard types and `gen_bool` reproduce upstream's
+//!   `Standard` and `Bernoulli` distributions;
+//! * `seq::SliceRandom` reproduces upstream's `gen_index` fast path and
+//!   `rand::seq::index::sample` algorithm choice.
+//!
+//! Every recorded experiment and golden test value in the repository is
+//! pinned to these streams.
+
+pub mod rngs;
+pub mod seq;
+
+/// Low-level entropy source, mirroring `rand_core::RngCore`.
+///
+/// Unlike upstream there are no default implementations: the only
+/// generator in the workspace is `StdRng`, whose buffered `next_u32` /
+/// `next_u64` must each follow upstream's `BlockRng` rules exactly.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Build from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64` by expanding it through PCG32, exactly as
+    /// `rand_core` 0.6 does (its documented, value-stable procedure).
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_exact_mut(4) {
+            // Advance the state first, to get away from low-Hamming-weight
+            // input values, then apply the PCG output permutation.
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Seed a new generator from an existing one. Infallible here (no OS
+    /// entropy is ever involved); the `Result` keeps upstream's call
+    /// shape (`from_rng(..).unwrap()`) working.
+    fn from_rng<R: RngCore>(mut rng: R) -> Result<Self, core::convert::Infallible> {
+        let mut seed = Self::Seed::default();
+        rng.fill_bytes(seed.as_mut());
+        Ok(Self::from_seed(seed))
+    }
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Sample a value of a standard type (uniform over its range, or
+    /// `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p`; upstream's
+    /// fixed-point `Bernoulli` distribution.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "p={p} is outside range [0.0, 1.0]"
+        );
+        if p == 1.0 {
+            // Upstream's ALWAYS_TRUE sentinel: returns without drawing.
+            return true;
+        }
+        // 2^64 as f64; (p * SCALE) as u64 is exact for p < 1.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`] (the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+// Upstream draws small ints from one `next_u32` and 64-bit ints from one
+// `next_u64`; signed types reuse the unsigned stream bit-for-bit.
+macro_rules! standard_from_u32 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u32() as $t
+            }
+        }
+    )*};
+}
+standard_from_u32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_from_u64 {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_from_u64!(u64, usize, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Little-endian order: low word first, matching upstream.
+        let x = u128::from(rng.next_u64());
+        let y = u128::from(rng.next_u64());
+        (y << 64) | x
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream sign-tests the most significant bit of one `next_u32`.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)`: multiply-based method, 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)`: multiply-based method, 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Widening multiply: `(hi, lo)` halves of the 64-bit product.
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = u64::from(a) * u64::from(b);
+    ((t >> 32) as u32, t as u32)
+}
+
+/// Widening multiply: `(hi, lo)` halves of the 128-bit product.
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+// Upstream `UniformInt::sample_single_inclusive`, monomorphised per type.
+//
+// `$ty` is the user-facing type, `$unsigned` its unsigned twin, `$u_large`
+// the sample width (u32 for types up to 32 bits, u64 above), `$wmul` the
+// matching widening multiply and `$next` the RngCore source. The `zone`
+// rule also follows upstream: exact modulus for 8/16-bit types, the
+// leading-zeros approximation for wider ones.
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $next:ident) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "cannot sample empty range");
+                // Wrapping arithmetic in the narrow type: the full span
+                // wraps to 0, which means "every value is acceptable".
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    return rng.$next() as $ty;
+                }
+                let zone = if (<$unsigned>::MAX as u32) <= u16::MAX as u32 {
+                    // An exact modulus is faster for 8/16-bit ranges.
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    // Conservative but fast approximation.
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$next() as $u_large;
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(u8, u8, u32, wmul32, next_u32);
+uniform_int!(u16, u16, u32, wmul32, next_u32);
+uniform_int!(u32, u32, u32, wmul32, next_u32);
+uniform_int!(u64, u64, u64, wmul64, next_u64);
+uniform_int!(usize, usize, u64, wmul64, next_u64);
+uniform_int!(i8, u8, u32, wmul32, next_u32);
+uniform_int!(i16, u16, u32, wmul32, next_u32);
+uniform_int!(i32, u32, u32, wmul32, next_u32);
+uniform_int!(i64, u64, u64, wmul64, next_u64);
+uniform_int!(isize, usize, u64, wmul64, next_u64);
+
+// Upstream `UniformFloat::sample_single`: draw a mantissa into `[1, 2)`,
+// then `res = (value - 1) * scale + low` (multiply before add — the
+// rounding order matters for bit-exactness). A draw landing on `high`
+// retries.
+macro_rules! uniform_float {
+    ($ty:ty, $next:ident, $bits_to_discard:expr, $exp_one:expr) => {
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (self.start, self.end);
+                assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                loop {
+                    let value1_2 = <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exp_one);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+        }
+
+        impl SampleRange<$ty> for core::ops::RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = self.into_inner();
+                assert!(low <= high, "cannot sample empty range");
+                // Largest value the open sampler's `value1_2 - 1.0` can
+                // produce; dividing by it stretches the scale so `high`
+                // itself is reachable.
+                let max_unit = <$ty>::from_bits((!0 >> $bits_to_discard) | $exp_one) - 1.0;
+                let scale = (high - low) / max_unit;
+                loop {
+                    let value1_2 = <$ty>::from_bits((rng.$next() >> $bits_to_discard) | $exp_one);
+                    let res = (value1_2 - 1.0) * scale + low;
+                    if res <= high {
+                        return res;
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_float!(f64, next_u64, 12u32, 1023u64 << 52);
+uniform_float!(f32, next_u32, 9u32, 127u32 << 23);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let w: u64 = rng.gen_range(5..=5);
+            assert_eq!(w, 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&i));
+            let s: usize = rng.gen_range(0..=3);
+            assert!(s <= 3);
+            let g: f64 = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    /// Small int types sample `u32`-wide, 64-bit types `u64`-wide, with
+    /// the widening-multiply acceptance rule. Replaying the algorithm by
+    /// hand against the raw word stream pins both the draw width and the
+    /// rejection behaviour.
+    #[test]
+    fn sample_widths_match_upstream() {
+        let mut a = StdRng::seed_from_u64(77);
+        let got: u32 = a.gen_range(0..8);
+        let mut raw = StdRng::seed_from_u64(77);
+        let (expect, zone) = {
+            let range = 8u32;
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v = raw.next_u32();
+                let t = u64::from(v) * u64::from(range);
+                if (t as u32) <= zone {
+                    break ((t >> 32) as u32, zone);
+                }
+            }
+        };
+        assert_eq!(got, expect, "zone {zone:#x}");
+        // Both replays consumed the same number of words.
+        assert_eq!(a.next_u64(), raw.next_u64());
+
+        let mut c = StdRng::seed_from_u64(78);
+        let got64: u64 = c.gen_range(0..=9);
+        let mut raw64 = StdRng::seed_from_u64(78);
+        let expect64 = {
+            let range = 10u64;
+            let zone = (range << range.leading_zeros()).wrapping_sub(1);
+            loop {
+                let v = raw64.next_u64();
+                let t = u128::from(v) * u128::from(range);
+                if (t as u64) <= zone {
+                    break (t >> 64) as u64;
+                }
+            }
+        };
+        assert_eq!(got64, expect64);
+        assert_eq!(c.next_u64(), raw64.next_u64());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).map(|_| rng.gen_bool(0.0)).any(|b| b));
+        assert!((0..100).map(|_| rng.gen_bool(1.0)).all(|b| b));
+        // p = 1.0 consumes no randomness (upstream's ALWAYS_TRUE path).
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let _ = a.gen_bool(1.0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&g));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Slice sampling helpers (`rand::seq` subset), stream-compatible with
+//! upstream `rand` 0.8: the `u32` fast path in `gen_index`, upstream's
+//! Fisher–Yates direction in `shuffle`, and `rand::seq::index::sample`'s
+//! algorithm choice (Floyd's / in-place / rejection) in
+//! `choose_multiple`.
+
+use crate::{Rng, RngCore};
+
+/// Uniform index below `ubound`; upstream samples `u32` whenever the
+/// bound fits, which halves the randomness consumed on 64-bit targets.
+#[inline]
+fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+    if ubound <= u32::MAX as usize {
+        rng.gen_range(0..ubound as u32) as usize
+    } else {
+        rng.gen_range(0..ubound)
+    }
+}
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// One uniformly chosen element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements (fewer if the slice is shorter), in
+    /// random order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            // Invariant: elements with index > i have been locked in place.
+            self.swap(i, gen_index(rng, i + 1));
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(gen_index(rng, self.len()))
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        SliceChooseIter {
+            slice: self,
+            indices: index_sample(rng, self.len(), amount),
+            pos: 0,
+        }
+    }
+}
+
+/// `rand::seq::index::sample`: choose between Floyd's algorithm, partial
+/// in-place Fisher–Yates, and set-based rejection, using upstream's
+/// benchmark-derived thresholds. The workspace's only caller (the `make`
+/// workload, `amount <= 9`) always lands on Floyd's.
+fn index_sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> Vec<u32> {
+    assert!(amount <= length, "cannot sample more items than exist");
+    assert!(
+        length <= u32::MAX as usize,
+        "slices longer than u32::MAX are not supported by this shim"
+    );
+    let (length, amount) = (length as u32, amount as u32);
+    if amount < 163 {
+        const C: [[f32; 2]; 2] = [[1.6, 8.45 / 45.0], [10.0, 70.0 / 9.0]];
+        let j = if length < 500_000 { 0 } else { 1 };
+        // Short-cut: when amount < 12, Floyd's is always faster.
+        if amount > 11 && (length as f32) < C[0][j] * amount as f32 {
+            sample_inplace(rng, length, amount)
+        } else {
+            sample_floyd(rng, length, amount)
+        }
+    } else {
+        const C: [f32; 2] = [270.0, 330.0 / 9.0];
+        let j = if length < 500_000 { 0 } else { 1 };
+        if (length as f32) < C[j] * amount as f32 {
+            sample_inplace(rng, length, amount)
+        } else {
+            sample_rejection(rng, length, amount)
+        }
+    }
+}
+
+/// Floyd's combination algorithm; the `amount < 50` variant inserts at
+/// the collision position so the result is already fully shuffled.
+fn sample_floyd<R: RngCore + ?Sized>(rng: &mut R, length: u32, amount: u32) -> Vec<u32> {
+    debug_assert!(amount <= length);
+    let floyd_shuffle = amount < 50;
+    let mut indices = Vec::with_capacity(amount as usize);
+    for j in length - amount..length {
+        let t: u32 = rng.gen_range(0..=j);
+        if floyd_shuffle {
+            if let Some(pos) = indices.iter().position(|&x| x == t) {
+                indices.insert(pos, j);
+                continue;
+            }
+        } else if indices.contains(&t) {
+            indices.push(j);
+            continue;
+        }
+        indices.push(t);
+    }
+    if !floyd_shuffle {
+        for i in (1..amount).rev() {
+            let t: u32 = rng.gen_range(0..=i);
+            indices.swap(i as usize, t as usize);
+        }
+    }
+    indices
+}
+
+/// Partial in-place Fisher–Yates over `0..length`.
+fn sample_inplace<R: RngCore + ?Sized>(rng: &mut R, length: u32, amount: u32) -> Vec<u32> {
+    debug_assert!(amount <= length);
+    let mut indices: Vec<u32> = (0..length).collect();
+    for i in 0..amount {
+        let j: u32 = rng.gen_range(i..length);
+        indices.swap(i as usize, j as usize);
+    }
+    indices.truncate(amount as usize);
+    indices
+}
+
+/// Rejection sampling with a collision set. Upstream draws from a
+/// constructed `Uniform`, whose zone is the exact modulus (unlike
+/// `sample_single`'s leading-zeros approximation).
+fn sample_rejection<R: RngCore + ?Sized>(rng: &mut R, length: u32, amount: u32) -> Vec<u32> {
+    debug_assert!(amount < length);
+    let zone = u32::MAX - (u32::MAX - length + 1) % length;
+    let draw = |rng: &mut R| loop {
+        let (hi, lo) = {
+            let t = u64::from(rng.next_u32()) * u64::from(length);
+            ((t >> 32) as u32, t as u32)
+        };
+        if lo <= zone {
+            return hi;
+        }
+    };
+    let mut cache = std::collections::HashSet::with_capacity(amount as usize);
+    let mut indices = Vec::with_capacity(amount as usize);
+    for _ in 0..amount {
+        let mut pos = draw(rng);
+        while !cache.insert(pos) {
+            pos = draw(rng);
+        }
+        indices.push(pos);
+    }
+    indices
+}
+
+/// Iterator over elements picked by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: Vec<u32>,
+    pos: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let i = *self.indices.get(self.pos)? as usize;
+        self.pos += 1;
+        self.slice.get(i)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.indices.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(
+            v, sorted,
+            "100 elements staying put is astronomically unlikely"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_elements_eventually() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[*v.choose(&mut rng).unwrap() as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let v: Vec<u32> = (0..20).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 8).copied().collect();
+        assert_eq!(picked.len(), 8);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "duplicates in sample");
+        // Requesting more than available returns everything.
+        assert_eq!(v.choose_multiple(&mut rng, 50).count(), 20);
+    }
+
+    #[test]
+    fn sample_algorithms_produce_valid_samples() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for (length, amount) in [(1300u32, 9u32), (40, 20), (100_000, 200)] {
+            let s = index_sample(&mut rng, length as usize, amount as usize);
+            assert_eq!(s.len(), amount as usize);
+            let mut u = s.clone();
+            u.sort_unstable();
+            u.dedup();
+            assert_eq!(u.len(), amount as usize);
+            assert!(s.iter().all(|&i| i < length));
+        }
+    }
+
+    /// Floyd's with `amount < 12` must consume exactly one `next_u32`
+    /// per accepted draw (inclusive u32 ranges sample u32-wide).
+    #[test]
+    fn floyd_draw_width() {
+        let mut a = StdRng::seed_from_u64(15);
+        let v: Vec<u32> = (0..1024).collect();
+        // 1024 and 1023..1024+0 ranges aren't powers of two in general;
+        // just verify determinism against a replay.
+        let p1: Vec<u32> = v.choose_multiple(&mut a, 6).copied().collect();
+        let mut b = StdRng::seed_from_u64(15);
+        let p2: Vec<u32> = v.choose_multiple(&mut b, 6).copied().collect();
+        assert_eq!(p1, p2);
+    }
+}
