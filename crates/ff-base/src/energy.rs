@@ -38,10 +38,10 @@ impl Joules {
     /// "x% energy saving" metric. Returns 0 when `self` is zero.
     #[inline]
     pub fn relative_saving(self, other: Joules) -> f64 {
-        if self.0 == 0.0 {
-            0.0
-        } else {
+        if self.0.abs() > 0.0 {
             (self.0 - other.0) / self.0
+        } else {
+            0.0
         }
     }
 

@@ -35,7 +35,7 @@ fn main() {
             ..Default::default()
         };
         let (e, t) = run_flexfetch(&s, SimConfig::default(), pcfg);
-        let mark = if loss == 0.25 { "*" } else { " " };
+        let mark = if (loss - 0.25).abs() < 1e-9 { "*" } else { " " };
         println!("{loss:>9}{mark} {e:>11.1}J {t:>9.1}s");
     }
 
@@ -101,7 +101,7 @@ fn main() {
             ..Default::default()
         };
         let (e, t) = run_flexfetch(&s, SimConfig::default(), pcfg);
-        let mark = if m == 0.10 { "*" } else { " " };
+        let mark = if (m - 0.10).abs() < 1e-9 { "*" } else { " " };
         println!("{m:>9}{mark} {e:>11.1}J {t:>9.1}s");
     }
 

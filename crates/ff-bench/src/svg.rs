@@ -64,7 +64,7 @@ fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 }
 
 fn fmt_num(v: f64) -> String {
-    if v == 0.0 {
+    if v.abs() < 1e-12 {
         "0".into()
     } else if v.abs() >= 1000.0 {
         format!("{:.0}", v)

@@ -21,13 +21,33 @@
 //! 6. **hygiene** — inventory of open-work markers and `#[allow]`
 //!    suppressions.
 //!
+//! On top of the per-line rules, a semantic layer ([`items`] →
+//! [`callgraph`], [`fsm`], [`units`]) recovers item boundaries from the
+//! preprocessed lines and runs three cross-file analyses:
+//!
+//! 7. **panic-reachability** — which public APIs of the simulation
+//!    crates can transitively reach a panic site (`unwrap`, `expect`,
+//!    `panic!`-family, slice indexing) through the workspace call graph.
+//! 8. **fsm** — the DK23DA and Aironet 350 `match self.state` machines,
+//!    extracted into transition tables and model-checked for
+//!    exhaustiveness, reachability, deadlock-freedom, and the presence
+//!    of the spin-down / CAM→PSM timeout paths tied to the pinned
+//!    constants.
+//! 9. **unit-flow** — the `_us`/`_ms`/`_s` suffix convention propagated
+//!    through let-bindings and call sites; mixed-unit arithmetic and
+//!    mismatched call arguments are findings.
+//!
 //! Findings ratchet against a committed [`baseline`]: the run fails only
 //! on findings the baseline does not accept, so existing debt is
 //! tracked without blocking the build, while regressions are.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod fsm;
+pub mod items;
 pub mod rules;
 pub mod scan;
+pub mod units;
 
 pub use baseline::{Baseline, Delta};
 pub use rules::{Finding, Rule};
@@ -47,6 +67,9 @@ pub struct Report {
     pub delta: Delta,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// State machines extracted by the [`fsm`] analysis, whether or not
+    /// they produced findings.
+    pub fsm_tables: Vec<fsm::FsmTable>,
 }
 
 impl Report {
@@ -141,6 +164,35 @@ impl Report {
             .iter()
             .flat_map(|(_, _, members)| members.iter().map(finding_node))
             .collect();
+        let fsm_node = |t: &fsm::FsmTable| {
+            Value::Object(vec![
+                ("file".into(), Value::Str(t.file.clone())),
+                ("enum".into(), Value::Str(t.enum_name.clone())),
+                (
+                    "states".into(),
+                    Value::Array(t.states.iter().map(|s| Value::Str(s.clone())).collect()),
+                ),
+                (
+                    "initial".into(),
+                    Value::Array(t.initial.iter().map(|s| Value::Str(s.clone())).collect()),
+                ),
+                (
+                    "transitions".into(),
+                    Value::Array(
+                        t.transitions
+                            .iter()
+                            .map(|tr| {
+                                Value::Object(vec![
+                                    ("from".into(), Value::Str(tr.from.clone())),
+                                    ("to".into(), Value::Str(tr.to.clone())),
+                                    ("line".into(), Value::UInt(tr.line as u64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
         let doc = Value::Object(vec![
             (
                 "summary".into(),
@@ -157,6 +209,10 @@ impl Report {
                     ("clean".into(), Value::Bool(self.is_clean())),
                     ("by_rule".into(), Value::Array(per_rule)),
                 ]),
+            ),
+            (
+                "fsm".into(),
+                Value::Array(self.fsm_tables.iter().map(fsm_node).collect()),
             ),
             ("new".into(), Value::Array(new)),
             (
@@ -179,8 +235,22 @@ fn digits(mut n: usize) -> usize {
     d
 }
 
-/// Scan the workspace under `root` and produce all findings.
-pub fn collect_findings(root: &Path) -> Result<(Vec<Finding>, usize)> {
+/// Everything one scan of the workspace produces, before any baseline
+/// comparison.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Per-line rule findings plus semantic-layer findings, sorted in
+    /// (rule, file, line, token) order.
+    pub findings: Vec<Finding>,
+    /// State machines the [`fsm`] analysis extracted.
+    pub fsm_tables: Vec<fsm::FsmTable>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Scan the workspace under `root`, run the per-line rules and the
+/// semantic layer, and produce all findings.
+pub fn analyze(root: &Path) -> Result<Analysis> {
     let sources = scan::collect_sources(root)
         .map_err(|e| Error::Io(format!("scanning {}: {e}", root.display())))?;
     if sources.is_empty() {
@@ -189,18 +259,38 @@ pub fn collect_findings(root: &Path) -> Result<(Vec<Finding>, usize)> {
             root.display()
         )));
     }
-    let findings = rules::run_all(&sources);
-    Ok((findings, sources.len()))
+    let mut findings = rules::run_all(&sources);
+    let trees = items::build(&sources);
+    let graph = callgraph::Graph::build(&sources, &trees);
+    findings.extend(callgraph::panic_reachability(&sources, &trees, &graph));
+    let (fsm_tables, fsm_findings) = fsm::analyze(&sources, &trees);
+    findings.extend(fsm_findings);
+    findings.extend(units::analyze(&sources, &trees));
+    findings.sort_by(|a, b| {
+        (a.rule, &a.file, a.line, &a.token).cmp(&(b.rule, &b.file, b.line, &b.token))
+    });
+    Ok(Analysis {
+        findings,
+        fsm_tables,
+        files_scanned: sources.len(),
+    })
+}
+
+/// Scan the workspace under `root` and produce all findings.
+pub fn collect_findings(root: &Path) -> Result<(Vec<Finding>, usize)> {
+    let analysis = analyze(root)?;
+    Ok((analysis.findings, analysis.files_scanned))
 }
 
 /// Scan and compare against a baseline in one step.
 pub fn run(root: &Path, baseline: &Baseline) -> Result<Report> {
-    let (findings, files_scanned) = collect_findings(root)?;
-    let delta = baseline.compare(&findings);
+    let analysis = analyze(root)?;
+    let delta = baseline.compare(&analysis.findings);
     Ok(Report {
-        findings,
+        findings: analysis.findings,
         delta,
-        files_scanned,
+        files_scanned: analysis.files_scanned,
+        fsm_tables: analysis.fsm_tables,
     })
 }
 
@@ -231,13 +321,14 @@ mod tests {
     #[test]
     fn report_renders_both_formats() {
         let root = default_root();
-        let (findings, files_scanned) = collect_findings(&root).expect("scan ok");
-        let baseline = Baseline::from_findings(&findings);
-        let delta = baseline.compare(&findings);
+        let analysis = analyze(&root).expect("scan ok");
+        let baseline = Baseline::from_findings(&analysis.findings);
+        let delta = baseline.compare(&analysis.findings);
         let report = Report {
-            findings,
+            findings: analysis.findings,
             delta,
-            files_scanned,
+            files_scanned: analysis.files_scanned,
+            fsm_tables: analysis.fsm_tables,
         };
         assert!(report.is_clean());
         let table = report.to_table();
@@ -248,5 +339,18 @@ mod tests {
             doc.get("summary").and_then(|s| s.get("clean")),
             Some(&ff_base::json::Value::Bool(true))
         );
+    }
+
+    #[test]
+    fn self_scan_extracts_both_device_fsms() {
+        let root = default_root();
+        let analysis = analyze(&root).expect("scan ok");
+        let enums: Vec<&str> = analysis
+            .fsm_tables
+            .iter()
+            .map(|t| t.enum_name.as_str())
+            .collect();
+        assert!(enums.contains(&"DiskState"), "{enums:?}");
+        assert!(enums.contains(&"WnicState"), "{enums:?}");
     }
 }

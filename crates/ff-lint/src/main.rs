@@ -1,11 +1,13 @@
 //! `ff-lint` CLI.
 //!
 //! ```text
-//! cargo run -p ff-lint -- [--json] [--root PATH] [--baseline PATH] [--update-baseline]
+//! cargo run -p ff-lint -- [--json] [--github] [--root PATH] [--baseline PATH]
+//!                         [--update-baseline] [--forbid-stale]
 //! ```
 //!
 //! Exit codes: `0` clean (no findings beyond the baseline), `1` new
-//! findings, `2` usage or I/O error.
+//! findings (or, under `--forbid-stale`, a stale baseline), `2` usage
+//! or I/O error.
 
 use ff_lint::{default_baseline_path, default_root, Baseline};
 use std::path::PathBuf;
@@ -13,23 +15,29 @@ use std::process::ExitCode;
 
 struct Args {
     json: bool,
+    github: bool,
     root: PathBuf,
     baseline: Option<PathBuf>,
     update_baseline: bool,
+    forbid_stale: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        github: false,
         root: default_root(),
         baseline: None,
         update_baseline: false,
+        forbid_stale: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--github" => args.github = true,
             "--update-baseline" => args.update_baseline = true,
+            "--forbid-stale" => args.forbid_stale = true,
             "--root" => {
                 args.root = PathBuf::from(it.next().ok_or("--root requires a path argument")?);
             }
@@ -51,13 +59,18 @@ const USAGE: &str = "\
 ff-lint: static analysis for the FlexFetch workspace
 
 USAGE:
-    ff-lint [--json] [--root PATH] [--baseline PATH] [--update-baseline]
+    ff-lint [--json] [--github] [--root PATH] [--baseline PATH]
+            [--update-baseline] [--forbid-stale]
 
 OPTIONS:
     --json              emit the machine-readable JSON report on stdout
+    --github            also emit GitHub Actions ::error annotations for
+                        findings beyond the baseline
     --root PATH         workspace root to scan (default: this workspace)
     --baseline PATH     ratchet file (default: crates/ff-lint/baseline.json)
     --update-baseline   rewrite the baseline to accept the current state
+    --forbid-stale      fail when the baseline lists debt that no longer
+                        exists (it is stale relative to --update-baseline)
 ";
 
 fn main() -> ExitCode {
@@ -134,9 +147,42 @@ fn main() -> ExitCode {
         print!("{}", report.to_table());
     }
 
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
+    if args.github {
+        // GitHub Actions workflow-command annotations render inline on
+        // the PR diff. Only findings beyond the baseline are errors.
+        for (_, _, members) in &report.delta.new {
+            for f in members {
+                println!(
+                    "::error file={},line={},title=ff-lint {}::{}",
+                    f.file,
+                    f.line,
+                    f.rule,
+                    gha_escape(&f.message)
+                );
+            }
+        }
     }
+
+    if !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    if args.forbid_stale && !report.delta.improved.is_empty() {
+        eprintln!(
+            "ff-lint: baseline is stale — {} entr(ies) list debt that no longer exists; \
+             run `cargo run -p ff-lint -- --update-baseline` and commit the result",
+            report.delta.improved.len()
+        );
+        for ((rule, file, token), allowed, current) in &report.delta.improved {
+            eprintln!("  {rule} {file} `{token}`: baseline {allowed}, now {current}");
+        }
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Escape a message for a GitHub workflow-command data section.
+fn gha_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }

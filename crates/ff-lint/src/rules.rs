@@ -1,4 +1,4 @@
-//! The six rule families.
+//! The nine rule families.
 //!
 //! Every rule emits [`Finding`]s keyed by `(rule, file, token)`. Line
 //! numbers are reported for humans but are *not* part of the baseline
@@ -16,14 +16,23 @@ pub enum Rule {
     Determinism,
     /// `unwrap`/`expect`/`panic!`-family calls in library code.
     PanicSafety,
+    /// Public APIs of the simulation crates that can transitively reach
+    /// a panic site through the workspace call graph.
+    PanicReach,
     /// Raw `as` numeric casts and `f64`-seconds leakage in device/sim
     /// hot paths where ff-base newtypes exist.
     UnitSafety,
+    /// Mixed time units flowing through let-bindings and call sites
+    /// (`_us` added to `_s`, microseconds passed to a seconds param).
+    UnitFlow,
     /// `==`/`!=` against float literals.
     FloatEq,
     /// The DK23DA / Aironet 350 constant tables must satisfy the paper's
     /// §3 invariants.
     ModelInvariants,
+    /// The extracted DK23DA / Aironet 350 state machines must be
+    /// exhaustive, reachable, deadlock-free, and keep their timeout arms.
+    Fsm,
     /// Work-marker inventory and lint-suppression audit.
     Hygiene,
 }
@@ -34,21 +43,27 @@ impl Rule {
         match self {
             Rule::Determinism => "determinism",
             Rule::PanicSafety => "panic-safety",
+            Rule::PanicReach => "panic-reachability",
             Rule::UnitSafety => "unit-safety",
+            Rule::UnitFlow => "unit-flow",
             Rule::FloatEq => "float-eq",
             Rule::ModelInvariants => "model-invariants",
+            Rule::Fsm => "fsm",
             Rule::Hygiene => "hygiene",
         }
     }
 
     /// All families, in report order.
-    pub fn all() -> [Rule; 6] {
+    pub fn all() -> [Rule; 9] {
         [
             Rule::Determinism,
             Rule::PanicSafety,
+            Rule::PanicReach,
             Rule::UnitSafety,
+            Rule::UnitFlow,
             Rule::FloatEq,
             Rule::ModelInvariants,
+            Rule::Fsm,
             Rule::Hygiene,
         ]
     }
@@ -654,6 +669,17 @@ fn count_word(haystack: &str, token: &str) -> usize {
         search = pos + token.len();
     }
     n
+}
+
+/// Count occurrences the same way panic-safety does: word-boundary
+/// match for macro-style `…!` tokens, plain substring otherwise (those
+/// tokens carry their own punctuation boundaries, like `.unwrap()`).
+pub(crate) fn count_occurrences(haystack: &str, token: &str) -> usize {
+    if token.ends_with('!') {
+        count_word(haystack, token)
+    } else {
+        count_substr(haystack, token)
+    }
 }
 
 /// Plain substring occurrences (for tokens that carry their own

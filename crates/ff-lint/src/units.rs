@@ -1,0 +1,607 @@
+//! Cross-file time-unit flow analysis.
+//!
+//! The workspace convention (DESIGN.md §6) is that raw integers and
+//! floats carrying time encode their unit in the identifier suffix:
+//! `deadline_us`, `budget_ms`, `timeout_s`. The per-line unit-safety
+//! rule can flag raw casts, but it cannot see a microsecond value
+//! flowing into a second-denominated parameter two files away. This
+//! pass can, conservatively:
+//!
+//! * identifiers gain a unit from their suffix (`_us`, `_ms`, `_s`,
+//!   `_secs`, `_millis`, `_micros`) or from a known accessor
+//!   (`.as_micros()` → µs, `.as_millis()` → ms, `.as_secs_f64()` /
+//!   `.as_secs()` → s);
+//! * `let` bindings propagate the unit of their initialiser when it is
+//!   unambiguous (a single known unit on the right-hand side and no
+//!   multiplicative rescaling);
+//! * additive arithmetic (`+`, `-`, `+=`, `-=`) and ordering
+//!   comparisons between two *different* known units are findings —
+//!   adding microseconds to seconds is never right;
+//! * call sites are checked cross-file through the item tree: passing
+//!   an `_s`-suffixed variable to a parameter declared `ts_us` is a
+//!   finding when the callee resolves uniquely by name and arity.
+//!
+//! Multiplication and division clear the unit (rescaling is exactly how
+//! units are *supposed* to change), so the analysis only reports
+//! mismatches it can justify — every finding quotes both units.
+
+use crate::items::{split_args, ItemTree};
+use crate::rules::{Finding, Rule};
+use crate::scan::{FileKind, SourceFile};
+use std::collections::BTreeMap;
+
+/// A time unit recovered from a suffix or accessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Unit {
+    Micros,
+    Millis,
+    Secs,
+}
+
+impl Unit {
+    fn label(self) -> &'static str {
+        match self {
+            Unit::Micros => "us",
+            Unit::Millis => "ms",
+            Unit::Secs => "s",
+        }
+    }
+
+    /// Unit implied by an identifier's suffix.
+    fn of_ident(name: &str) -> Option<Unit> {
+        for (suffix, unit) in [
+            ("_us", Unit::Micros),
+            ("_micros", Unit::Micros),
+            ("_ms", Unit::Millis),
+            ("_millis", Unit::Millis),
+            ("_s", Unit::Secs),
+            ("_secs", Unit::Secs),
+        ] {
+            if let Some(stem) = name.strip_suffix(suffix) {
+                if !stem.is_empty() {
+                    return Some(unit);
+                }
+            }
+        }
+        None
+    }
+
+    /// Unit produced by a known accessor method.
+    fn of_accessor(name: &str) -> Option<Unit> {
+        match name {
+            "as_micros" => Some(Unit::Micros),
+            "as_millis" => Some(Unit::Millis),
+            "as_secs" | "as_secs_f64" => Some(Unit::Secs),
+            _ => None,
+        }
+    }
+}
+
+/// Per-fn environment: variable name → inferred unit.
+type Env = BTreeMap<String, Unit>;
+
+/// Run the unit-flow pass over every first-party library file.
+pub fn analyze(sources: &[SourceFile], trees: &[ItemTree]) -> Vec<Finding> {
+    let params_by_name = collect_params(sources, trees);
+    let mut out = Vec::new();
+    for (fi, file) in sources.iter().enumerate() {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (_, item) in trees[fi].fns() {
+            if item.in_test || item.body_start == 0 {
+                continue;
+            }
+            let mut env: Env = Env::new();
+            for p in &item.params {
+                if let Some(u) = Unit::of_ident(p) {
+                    env.insert(p.clone(), u);
+                }
+            }
+            for line_no in item.body_start..=item.body_end {
+                let Some(line) = file.lines.get(line_no - 1) else {
+                    continue;
+                };
+                if line.in_test {
+                    continue;
+                }
+                scan_line(
+                    &line.code,
+                    &mut env,
+                    &params_by_name,
+                    &file.rel_path,
+                    line_no,
+                    &mut out,
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Callee parameter units: fn name → (param units, arity), kept only
+/// when the name resolves uniquely across the workspace.
+fn collect_params(
+    sources: &[SourceFile],
+    trees: &[ItemTree],
+) -> BTreeMap<String, Vec<Option<Unit>>> {
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    let mut params: BTreeMap<String, Vec<Option<Unit>>> = BTreeMap::new();
+    for (fi, tree) in trees.iter().enumerate() {
+        if sources[fi].kind != FileKind::Lib {
+            continue;
+        }
+        for (_, item) in tree.fns() {
+            if item.in_test {
+                continue;
+            }
+            *seen.entry(item.name.clone()).or_insert(0) += 1;
+            params.insert(
+                item.name.clone(),
+                item.params.iter().map(|p| Unit::of_ident(p)).collect(),
+            );
+        }
+    }
+    params.retain(|name, units| seen.get(name) == Some(&1) && units.iter().any(Option::is_some));
+    params
+}
+
+/// Tokens of one line: identifiers (with optional accessor-call unit)
+/// and operator positions.
+fn scan_line(
+    code: &str,
+    env: &mut Env,
+    params_by_name: &BTreeMap<String, Vec<Option<Unit>>>,
+    file: &str,
+    line_no: usize,
+    out: &mut Vec<Finding>,
+) {
+    check_additive(code, env, file, line_no, out);
+    check_calls(code, env, params_by_name, file, line_no, out);
+    bind_let(code, env);
+}
+
+/// `let [mut] name = expr;` — record `name`'s unit when inferable, and
+/// flag a suffix that contradicts the initialiser.
+fn bind_let(code: &str, env: &mut Env) {
+    let Some(pos) = find_word(code, "let") else {
+        return;
+    };
+    let rest = code[pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return;
+    }
+    let name = &rest[..end];
+    let after = rest[end..].trim_start();
+    // Only plain bindings: `let x = …` / `let x: T = …`; patterns
+    // (`let (a, b)`, `if let Some(x)`) are skipped.
+    let init = if let Some(eq) = after.strip_prefix('=') {
+        if eq.starts_with('=') {
+            return; // `==`
+        }
+        eq
+    } else if after.starts_with(':') {
+        match after.split_once('=') {
+            Some((_, init)) => init,
+            None => return,
+        }
+    } else {
+        return;
+    };
+    let unit = match Unit::of_ident(name) {
+        Some(u) => Some(u),
+        None => expr_unit(init, env),
+    };
+    if let Some(u) = unit {
+        env.insert(name.to_owned(), u);
+    }
+}
+
+/// The single unambiguous unit of an expression, if any: exactly one
+/// distinct known unit among its identifiers/accessors and no `*`/`/`
+/// rescaling.
+fn expr_unit(expr: &str, env: &Env) -> Option<Unit> {
+    if has_rescaling(expr) {
+        return None;
+    }
+    let mut found: Option<Unit> = None;
+    for (name, unit) in idents_with_units(expr, env) {
+        let _ = name;
+        match found {
+            None => found = Some(unit),
+            Some(u) if u == unit => {}
+            Some(_) => return None,
+        }
+    }
+    found
+}
+
+/// Does the expression multiply or divide (i.e. legitimately rescale)?
+fn has_rescaling(expr: &str) -> bool {
+    let bytes = expr.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'/' => {
+                // `//` cannot appear (comments are blanked); `/` is division.
+                return true;
+            }
+            b'*' => {
+                // Deref `*x` has no left operand; multiplication does.
+                let prev = bytes[..i]
+                    .iter()
+                    .rev()
+                    .find(|b| !b.is_ascii_whitespace())
+                    .copied()
+                    .unwrap_or(b'(');
+                if prev.is_ascii_alphanumeric() || prev == b'_' || prev == b')' || prev == b']' {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Identifiers in an expression that carry a unit (by suffix, env, or
+/// as an accessor call).
+fn idents_with_units<'a>(expr: &'a str, env: &Env) -> Vec<(&'a str, Unit)> {
+    let mut out = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let name = &expr[start..i];
+            let called = bytes.get(i) == Some(&b'(');
+            let is_field_or_method = start > 0 && bytes[start - 1] == b'.';
+            let unit = if called {
+                Unit::of_accessor(name)
+            } else if is_field_or_method {
+                Unit::of_ident(name) // `self.deadline_us`
+            } else {
+                Unit::of_ident(name).or_else(|| env.get(name).copied())
+            };
+            if let Some(u) = unit {
+                out.push((name, u));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Flag `a + b`, `a - b`, `a += b`, `a -= b` and ordering comparisons
+/// whose operands carry different units.
+fn check_additive(code: &str, env: &Env, file: &str, line_no: usize, out: &mut Vec<Finding>) {
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        let op: &str = match b {
+            b'+' | b'-' => {
+                // Skip `->`, `+=`/`-=` handled the same, unary minus by
+                // the empty-left check below.
+                if bytes.get(i + 1) == Some(&b'>') {
+                    continue;
+                }
+                if b == b'+' && bytes.get(i + 1) == Some(&b'+') {
+                    continue;
+                }
+                if b == b'+' {
+                    "+"
+                } else {
+                    "-"
+                }
+            }
+            b'<' | b'>' => {
+                // Ordering comparison, not generics: require spaces
+                // around it (rustfmt style) so `Vec<u8>` never matches.
+                let spaced = i > 0
+                    && bytes[i - 1] == b' '
+                    && matches!(bytes.get(i + 1), Some(&b' ') | Some(&b'='));
+                if !spaced {
+                    continue;
+                }
+                if b == b'<' {
+                    "<"
+                } else {
+                    ">"
+                }
+            }
+            _ => continue,
+        };
+        let skip = usize::from(bytes.get(i + 1) == Some(&b'='));
+        let left = operand_before(code, i);
+        let right = operand_after(code, i + 1 + skip);
+        let lu = operand_unit(left, env);
+        let ru = operand_unit(right, env);
+        if let (Some(lu), Some(ru)) = (lu, ru) {
+            if lu != ru {
+                out.push(Finding {
+                    rule: Rule::UnitFlow,
+                    file: file.to_owned(),
+                    line: line_no,
+                    token: format!("{}{op}{}", lu.label(), ru.label()),
+                    message: format!(
+                        "mixed time units: `{left}` is {} but `{right}` is {} — rescale \
+                         explicitly or move both into Dur",
+                        lu.label(),
+                        ru.label()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Check call arguments against uniquely-resolved callee param units.
+fn check_calls(
+    code: &str,
+    env: &Env,
+    params_by_name: &BTreeMap<String, Vec<Option<Unit>>>,
+    file: &str,
+    line_no: usize,
+    out: &mut Vec<Finding>,
+) {
+    for name in crate::callgraph::call_names(code) {
+        let Some(param_units) = params_by_name.get(name) else {
+            continue;
+        };
+        // The args of *this* call: text between its parens, one line only.
+        let Some(call_pos) = code.find(&format!("{name}(")) else {
+            continue;
+        };
+        let open = call_pos + name.len();
+        let Some(close) = matching_paren(code, open) else {
+            continue;
+        };
+        let args = split_args(&code[open + 1..close]);
+        if args.len() != param_units.len() {
+            continue; // method-call `self` offset or multi-line call
+        }
+        for (arg, want) in args.iter().zip(param_units) {
+            let Some(want) = want else { continue };
+            let arg = arg.trim();
+            if !arg
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                continue; // only plain identifiers/paths are judged
+            }
+            let got = operand_unit(arg, env);
+            if let Some(got) = got {
+                if got != *want {
+                    out.push(Finding {
+                        rule: Rule::UnitFlow,
+                        file: file.to_owned(),
+                        line: line_no,
+                        token: format!("call:{name}"),
+                        message: format!(
+                            "`{arg}` carries {} but `{name}` expects {} here",
+                            got.label(),
+                            want.label()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Unit of a single operand: a plain ident/path, or an accessor call.
+fn operand_unit(operand: &str, env: &Env) -> Option<Unit> {
+    let operand = operand.trim();
+    if operand.is_empty() || operand.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    // `a.b.c_us` / `d.as_micros()` — judge the last segment.
+    let last = operand.trim_end_matches("()");
+    let last = last.rsplit('.').next().unwrap_or(last);
+    if operand.ends_with("()") {
+        return Unit::of_accessor(last);
+    }
+    if !last.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Unit::of_ident(last).or_else(|| {
+        if operand.contains('.') {
+            None // field of another struct — suffix only
+        } else {
+            env.get(operand).copied()
+        }
+    })
+}
+
+/// The expression-ish operand left of byte `pos` (ident path, maybe an
+/// accessor call).
+fn operand_before(code: &str, pos: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    // Swallow a trailing `()` of an accessor call.
+    if start >= 2 && &code[start - 2..start] == "()" {
+        start -= 2;
+    }
+    while start > 0
+        && (bytes[start - 1].is_ascii_alphanumeric()
+            || bytes[start - 1] == b'_'
+            || bytes[start - 1] == b'.')
+    {
+        start -= 1;
+    }
+    &code[start..end]
+}
+
+/// The operand right of byte `pos`.
+fn operand_after(code: &str, pos: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = pos;
+    while start < bytes.len() && bytes[start] == b' ' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < bytes.len()
+        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_' || bytes[end] == b'.')
+    {
+        end += 1;
+    }
+    // Swallow an accessor call's `()`.
+    if code[end..].starts_with("()") {
+        end += 2;
+    }
+    &code[start..end]
+}
+
+/// Word-boundary find.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = code[search..].find(word) {
+        let pos = search + rel;
+        let before_ok =
+            pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+        let after = pos + word.len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        search = pos + word.len();
+    }
+    None
+}
+
+/// The matching `)` for the `(` at byte `open`.
+fn matching_paren(code: &str, open: usize) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut depth = 0i64;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::scan::preprocess;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                rel_path: (*path).to_owned(),
+                crate_name: "ff-sim".to_owned(),
+                kind: FileKind::Lib,
+                lines: preprocess(src),
+            })
+            .collect();
+        let trees = items::build(&sources);
+        analyze(&sources, &trees)
+    }
+
+    #[test]
+    fn mixed_addition_is_flagged() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(start_us: u64, budget_s: u64) -> u64 {\n    start_us + budget_s\n}\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].token, "us+s");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn consistent_units_are_clean() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(start_us: u64, dur_us: u64) -> u64 {\n    start_us + dur_us\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn let_binding_propagates_units() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(start_us: u64, end_s: u64) -> u64 {\n    let begin = start_us;\n    begin + end_s\n}\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn rescaling_clears_the_unit() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(start_us: u64, end_s: u64) -> u64 {\n    let begin = start_us / 1_000_000;\n    begin + end_s\n}\n",
+        )]);
+        assert!(f.is_empty(), "division rescales: {f:?}");
+    }
+
+    #[test]
+    fn accessor_calls_carry_units() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(d: Dur, start_us: u64) -> f64 {\n    d.as_secs_f64() + start_us\n}\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].token, "s+us");
+    }
+
+    #[test]
+    fn cross_file_call_mismatch() {
+        let f = run(&[
+            (
+                "crates/ff-sim/src/a.rs",
+                "pub fn caller(deadline_s: u64) {\n    record(deadline_s, 4)\n}\n",
+            ),
+            (
+                "crates/ff-sim/src/b.rs",
+                "pub fn record(ts_us: u64, n: u64) {\n    let _ = (ts_us, n);\n}\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].token, "call:record");
+        assert!(f[0].message.contains("expects us"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn comparisons_between_units_are_flagged() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(t_us: u64, limit_ms: u64) -> bool {\n    t_us < limit_ms\n}\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].token, "us<ms");
+    }
+
+    #[test]
+    fn generics_are_not_comparisons() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn f(xs_us: Vec<u64>, cap_ms: u64) -> Vec<u64> {\n    let v: Vec<u64> = xs_us;\n    v\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

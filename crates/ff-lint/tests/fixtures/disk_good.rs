@@ -1,0 +1,62 @@
+//! Known-good DK23DA disk machine. This file is a lint fixture: it is
+//! scanned by ff-lint in tests (placed at `crates/ff-device/src/disk.rs`
+//! of a synthetic tree), never compiled.
+
+pub enum DiskState {
+    Idle,
+    SpinningDown(SimTime),
+    Standby,
+    SpinningUp(SimTime),
+}
+
+impl DiskParams {
+    pub fn hitachi_dk23da() -> Self {
+        DiskParams {
+            active_power: Watts(2.0),
+            idle_power: Watts(1.6),
+            standby_power: Watts(0.15),
+            spinup_energy: Joules(5.0),
+            spindown_energy: Joules(2.94),
+            spinup_time: Dur::from_millis(1_600),
+            spindown_time: Dur::from_millis(2_300),
+            timeout: Dur::from_secs(20),
+        }
+    }
+}
+
+pub struct DiskModel {
+    state: DiskState,
+}
+
+impl DiskModel {
+    pub fn new(params: DiskParams) -> Self {
+        DiskModel {
+            state: DiskState::Idle,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        match self.state {
+            DiskState::Idle => {
+                let deadline = self.idle_since + self.params.timeout;
+                self.meter.transition(self.params.spindown_energy);
+                self.state = DiskState::SpinningDown(deadline);
+            }
+            DiskState::SpinningDown(until) => {
+                self.state = DiskState::Standby;
+            }
+            DiskState::Standby => {
+                self.clock = now;
+            }
+            DiskState::SpinningUp(until) => {
+                self.state = DiskState::Idle;
+            }
+        }
+    }
+
+    fn service(&mut self, now: SimTime) {
+        if self.state == DiskState::Standby {
+            self.state = DiskState::SpinningUp(now);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Known-bad panic-reachability fixture: `api_entry` is a pub API whose
+//! helper unwraps, so the panic can escape the crate boundary. The
+//! `clean_path` fn has no path to a panic site. Lint fixture, never
+//! compiled.
+
+pub fn api_entry(v: &[u8]) -> u8 {
+    deep_helper(v)
+}
+
+fn deep_helper(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}
+
+pub fn clean_path(v: &[u8]) -> usize {
+    v.len()
+}

@@ -1,0 +1,13 @@
+//! Known-bad unit-flow fixture: a seconds-denominated value is added to
+//! a microseconds-denominated one and also passed to a callee whose
+//! parameter is microseconds-denominated. Lint fixture, never compiled.
+
+pub fn caller(deadline_s: u64) -> u64 {
+    let window_us = 1_500;
+    record_sample(deadline_s, 4);
+    window_us + deadline_s
+}
+
+pub fn record_sample(ts_us: u64, weight: u64) -> u64 {
+    ts_us + weight
+}

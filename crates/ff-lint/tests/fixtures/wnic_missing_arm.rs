@@ -1,0 +1,55 @@
+//! Known-bad variant of `wnic_good.rs`: the `ToCam` arm of the CAM/PSM
+//! machine has been deleted, so the match is non-exhaustive, `ToCam`
+//! deadlocks, and `Cam` becomes unreachable. Lint fixture, never compiled.
+
+pub enum WnicState {
+    Cam,
+    ToPsm(SimTime),
+    Psm,
+    ToCam(SimTime),
+}
+
+impl WnicParams {
+    pub fn cisco_aironet350() -> Self {
+        WnicParams {
+            psm_idle: Watts(0.39),
+            cam_idle: Watts(1.41),
+            psm_timeout: Dur::from_millis(800),
+            bandwidth: BytesPerSec::from_mbit_per_sec(11.0),
+        }
+    }
+}
+
+pub struct WnicModel {
+    state: WnicState,
+}
+
+impl WnicModel {
+    pub fn new(params: WnicParams) -> Self {
+        WnicModel {
+            state: WnicState::Psm,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        match self.state {
+            WnicState::Cam => {
+                let deadline = self.idle_since + self.params.psm_timeout;
+                self.meter.transition(self.params.to_psm_energy);
+                self.state = WnicState::ToPsm(deadline);
+            }
+            WnicState::ToPsm(until) => {
+                self.state = WnicState::Psm;
+            }
+            WnicState::Psm => {
+                self.clock = now;
+            }
+        }
+    }
+
+    fn service(&mut self, now: SimTime) {
+        if self.state == WnicState::Psm {
+            self.state = WnicState::ToCam(now);
+        }
+    }
+}

@@ -34,10 +34,10 @@ impl Battery {
     /// Mean I/O power of a finished run.
     pub fn io_power(report: &SimReport) -> Watts {
         let secs = report.exec_time.as_secs_f64();
-        if secs == 0.0 {
-            Watts::ZERO
-        } else {
+        if secs > 0.0 {
             Watts(report.total_energy().get() / secs)
+        } else {
+            Watts::ZERO
         }
     }
 

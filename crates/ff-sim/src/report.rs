@@ -31,10 +31,10 @@ impl StageSummary {
     /// Mean system I/O power over the stage.
     pub fn mean_power_w(&self) -> f64 {
         let secs = self.end.saturating_since(self.start).as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
+        if secs > 0.0 {
             self.total_energy().get() / secs
+        } else {
+            0.0
         }
     }
 }

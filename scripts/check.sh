@@ -3,6 +3,13 @@
 #
 # This is the same sequence CI (and the tier-1 acceptance check) runs;
 # a clean `./scripts/check.sh` means the tree is mergeable.
+#
+# The lint step writes its JSON report to results/lint-report.json so CI
+# can upload it as an artifact, and runs with --forbid-stale so a
+# baseline listing already-fixed debt fails the gate instead of rotting.
+# On failure it re-runs in human-readable mode — in GitHub Actions (or
+# with FF_LINT_GITHUB=1) that re-run also emits ::error annotations that
+# render inline on the PR diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,7 +17,21 @@ echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
 echo "==> ff-lint (ratchet vs crates/ff-lint/baseline.json)"
-cargo run -q -p ff-lint
+mkdir -p results
+if ! cargo run -q -p ff-lint -- --json --forbid-stale > results/lint-report.json; then
+    echo "==> ff-lint FAILED — human-readable report follows"
+    rerun_args=()
+    if [[ "${GITHUB_ACTIONS:-}" == "true" || "${FF_LINT_GITHUB:-}" == "1" ]]; then
+        rerun_args+=(--github)
+    fi
+    cargo run -q -p ff-lint -- --forbid-stale "${rerun_args[@]+"${rerun_args[@]}"}" || true
+    echo "error: ff-lint found new findings or a stale baseline;" >&2
+    echo "       see results/lint-report.json, and run" >&2
+    echo "       'cargo run -p ff-lint -- --update-baseline' only for" >&2
+    echo "       debt you are deliberately accepting." >&2
+    exit 1
+fi
+echo "    report: results/lint-report.json"
 
 echo "==> cargo build --release"
 cargo build --release

@@ -68,6 +68,58 @@ fn model_invariants_hold_for_the_paper_tables() {
     );
 }
 
+#[test]
+fn fsm_family_is_pinned_at_zero() {
+    let root = workspace_root();
+    // No accepted FSM debt in the baseline…
+    let baseline = committed_baseline(&root);
+    assert_eq!(
+        baseline.keys_for_rule(Rule::Fsm).count(),
+        0,
+        "the fsm family must have an empty baseline"
+    );
+    // …and the extracted DK23DA / Aironet 350 machines model-check clean.
+    let (findings, _) = ff_lint::collect_findings(&root).expect("scan succeeds");
+    let fsm: Vec<_> = findings.iter().filter(|f| f.rule == Rule::Fsm).collect();
+    assert!(
+        fsm.is_empty(),
+        "non-exhaustive/unreachable/deadlocked state machines: {fsm:?}"
+    );
+}
+
+#[test]
+fn device_fsm_tables_are_extracted_from_the_workspace() {
+    let root = workspace_root();
+    let analysis = ff_lint::analyze(&root).expect("scan succeeds");
+    let disk = analysis
+        .fsm_tables
+        .iter()
+        .find(|t| t.enum_name == "DiskState")
+        .expect("DiskState machine extracted from crates/ff-device/src/disk.rs");
+    let wnic = analysis
+        .fsm_tables
+        .iter()
+        .find(|t| t.enum_name == "WnicState")
+        .expect("WnicState machine extracted from crates/ff-device/src/wnic.rs");
+    // The four-edge cycles from the paper's device models (§3).
+    for (from, to) in [
+        ("Idle", "SpinningDown"),
+        ("SpinningDown", "Standby"),
+        ("Standby", "SpinningUp"),
+        ("SpinningUp", "Idle"),
+    ] {
+        assert!(disk.has_transition(from, to), "disk {from} -> {to}");
+    }
+    for (from, to) in [
+        ("Cam", "ToPsm"),
+        ("ToPsm", "Psm"),
+        ("Psm", "ToCam"),
+        ("ToCam", "Cam"),
+    ] {
+        assert!(wnic.has_transition(from, to), "wnic {from} -> {to}");
+    }
+}
+
 /// Materialise a minimal fake workspace containing one seeded violation.
 fn seeded_violation_tree(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("ff-lint-seed-{name}"));
@@ -119,6 +171,31 @@ fn cli_exits_zero_on_the_clean_workspace() {
     );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("\"clean\": true"), "unexpected JSON: {text}");
+
+    // The JSON report must carry the extracted device transition tables
+    // and the per-family summary, including panic-reachability.
+    let doc = ff_base::json::Value::parse(&text).expect("stdout is JSON");
+    let fsm = doc
+        .get("fsm")
+        .and_then(|v| v.as_array())
+        .expect("fsm array");
+    let enums: Vec<_> = fsm
+        .iter()
+        .filter_map(|t| t.get("enum").and_then(|v| v.as_str()))
+        .collect();
+    assert!(enums.contains(&"DiskState"), "missing DiskState: {enums:?}");
+    assert!(enums.contains(&"WnicState"), "missing WnicState: {enums:?}");
+    let by_rule = doc
+        .get("summary")
+        .and_then(|s| s.get("by_rule"))
+        .and_then(|v| v.as_array())
+        .expect("by_rule array");
+    assert!(
+        by_rule
+            .iter()
+            .any(|r| r.get("rule").and_then(|v| v.as_str()) == Some("panic-reachability")),
+        "missing panic-reachability family in: {text}"
+    );
 }
 
 #[test]
