@@ -108,6 +108,58 @@ impl Value {
         out
     }
 
+    /// Print on a single line with no whitespace (serde_json compact
+    /// style) — the format used for JSONL event streams, where each
+    /// document must occupy exactly one line.
+    ///
+    /// ```
+    /// use ff_base::json::Value;
+    ///
+    /// let doc = Value::Object(vec![
+    ///     ("ev".into(), Value::Str("spin_up".into())),
+    ///     ("t".into(), Value::UInt(1_600_000)),
+    /// ]);
+    /// assert_eq!(doc.to_compact(), r#"{"ev":"spin_up","t":1600000}"#);
+    /// ```
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) => write_f64(out, *x),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -519,6 +571,27 @@ mod tests {
         assert_eq!(Value::parse(&text).unwrap(), doc);
         // serde_json-style shape: 2-space indent, `": "` separators.
         assert!(text.starts_with("{\n  \"app\": \"grep\""), "got: {text}");
+    }
+
+    #[test]
+    fn compact_output_round_trips_and_is_one_line() {
+        let doc = Value::Object(vec![
+            ("app".into(), Value::Str("grep".into())),
+            (
+                "runs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5), Value::Null]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+            ("flag".into(), Value::Bool(false)),
+        ]);
+        let text = doc.to_compact();
+        assert!(!text.contains('\n'));
+        assert!(!text.contains(' '));
+        assert_eq!(Value::parse(&text).unwrap(), doc);
+        assert_eq!(
+            text,
+            r#"{"app":"grep","runs":[1,2.5,null],"empty":[],"flag":false}"#
+        );
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //! assert_eq!((start + Dur::from_millis(1500)) - start, Dur::from_millis(1500));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod dist;
 pub mod energy;
 pub mod json;

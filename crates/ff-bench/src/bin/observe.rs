@@ -1,0 +1,87 @@
+//! `observe` — export one run's structured event stream.
+//!
+//! Replays a Table-3 workload under a policy with an event recorder
+//! attached, then writes two artefacts into `--out-dir` (default
+//! `bench/`):
+//!
+//! * `observe_<workload>_<policy>.jsonl` — one JSON object per event,
+//!   sorted by simulated time;
+//! * `observe_<workload>_<policy>.summary.json` — headline report
+//!   numbers plus per-kind event totals (also printed to stdout).
+//!
+//! Output is byte-identical across runs with the same seed.
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin observe -- \
+//!     --workload grep --policy flexfetch [--seed 42] [--out-dir bench]
+//! ```
+
+use ff_bench::observe::{observe_run, summary_json, POLICIES, WORKLOADS};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: observe --workload <{}> --policy <{}> [--seed N] [--out-dir DIR]",
+        WORKLOADS.join("|"),
+        POLICIES.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workload: Option<String> = None;
+    let mut policy: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut out_dir = PathBuf::from("bench");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--workload" => workload = Some(value("--workload")),
+            "--policy" => policy = Some(value("--policy")),
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("--seed: {e}");
+                    usage()
+                })
+            }
+            "--out-dir" => out_dir = PathBuf::from(value("--out-dir")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let (Some(workload), Some(policy)) = (workload, policy) else {
+        usage()
+    };
+
+    let run = observe_run(&workload, &policy, seed).unwrap_or_else(|e| {
+        eprintln!("observe: {e}");
+        std::process::exit(1);
+    });
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let stem = format!("observe_{workload}_{policy}");
+    let jsonl_path = out_dir.join(format!("{stem}.jsonl"));
+    let summary_path = out_dir.join(format!("{stem}.summary.json"));
+
+    std::fs::write(&jsonl_path, run.log.to_jsonl()).expect("write jsonl");
+    let summary = summary_json(&run, &workload, &policy, seed).to_pretty();
+    std::fs::write(&summary_path, format!("{summary}\n")).expect("write summary");
+
+    println!("{summary}");
+    eprintln!(
+        "wrote {} ({} events) and {}",
+        jsonl_path.display(),
+        run.log.len(),
+        summary_path.display()
+    );
+}

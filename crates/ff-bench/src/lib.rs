@@ -15,6 +15,7 @@
 //! Each binary prints the figure's series as an aligned table and a CSV
 //! block, so results can be diffed against EXPERIMENTS.md.
 
+pub mod observe;
 pub mod scenarios;
 pub mod svg;
 pub mod sweep;

@@ -68,6 +68,37 @@ pub struct WriteOutcome {
     pub evicted_dirty: Vec<PageKey>,
 }
 
+/// Lifetime activity counters, as sampled by [`BufferCache::stats`].
+///
+/// These are cumulative since construction; the observability layer
+/// diffs successive samples to attribute activity to simulation stages.
+///
+/// ```
+/// use ff_base::{Bytes, SimTime};
+/// use ff_cache::{BufferCache, CacheConfig};
+/// use ff_trace::FileId;
+///
+/// let mut c = BufferCache::new(CacheConfig::default());
+/// c.read(SimTime::ZERO, FileId(1), 0, Bytes(4096), Bytes(40 * 4096));
+/// let s = c.stats();
+/// assert_eq!((s.hits, s.misses), (0, 1));
+/// assert!(s.readahead_pages > 0, "sequential start should prefetch");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand pages found resident.
+    pub hits: u64,
+    /// Demand pages that required device I/O.
+    pub misses: u64,
+    /// Pages fetched speculatively by the readahead engine.
+    pub readahead_pages: u64,
+    /// Write-back flush rounds that produced at least one page.
+    pub flushes: u64,
+    /// Dirty pages pushed out by those flush rounds (including the
+    /// final sync performed by [`BufferCache::flush_all`]).
+    pub flushed_pages: u64,
+}
+
 /// The combined 2Q + readahead + write-back cache.
 #[derive(Debug, Clone)]
 pub struct BufferCache {
@@ -76,6 +107,9 @@ pub struct BufferCache {
     writeback: Writeback,
     hits: u64,
     misses: u64,
+    readahead_pages: u64,
+    flushes: u64,
+    flushed_pages: u64,
 }
 
 impl BufferCache {
@@ -87,6 +121,9 @@ impl BufferCache {
             writeback: Writeback::new(config.writeback),
             hits: 0,
             misses: 0,
+            readahead_pages: 0,
+            flushes: 0,
+            flushed_pages: 0,
         }
     }
 
@@ -159,6 +196,7 @@ impl BufferCache {
                 out.prefetch.push((s, plen));
             }
         }
+        self.readahead_pages += out.prefetch.iter().map(|&(_, n)| n).sum::<u64>();
         out.evicted_dirty = evicted
             .into_iter()
             .filter(|k| self.writeback.on_evict(*k))
@@ -188,12 +226,22 @@ impl BufferCache {
     /// Run the flusher: dirty pages due for write-back at `now`, given
     /// the disk's spin state (laptop-mode rules).
     pub fn flush_due(&mut self, now: SimTime, disk_ready: bool) -> Vec<PageKey> {
-        self.writeback.collect_due(now, disk_ready)
+        let due = self.writeback.collect_due(now, disk_ready);
+        if !due.is_empty() {
+            self.flushes += 1;
+            self.flushed_pages += due.len() as u64;
+        }
+        due
     }
 
     /// Remaining dirty pages (final sync).
     pub fn flush_all(&mut self) -> Vec<PageKey> {
-        self.writeback.drain_all()
+        let drained = self.writeback.drain_all();
+        if !drained.is_empty() {
+            self.flushes += 1;
+            self.flushed_pages += drained.len() as u64;
+        }
+        drained
     }
 
     /// Fraction of the byte range currently resident, in [0, 1] — the
@@ -216,6 +264,17 @@ impl BufferCache {
     /// Lifetime hit/miss counters (demand pages only).
     pub fn hit_stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Full lifetime activity counters (see [`CacheStats`]).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            readahead_pages: self.readahead_pages,
+            flushes: self.flushes,
+            flushed_pages: self.flushed_pages,
+        }
     }
 
     /// Resident page count.
@@ -410,6 +469,28 @@ mod tests {
         );
         let (h, m) = c.hit_stats();
         assert!(h > m, "most demand pages should hit ({h} vs {m})");
+    }
+
+    #[test]
+    fn stats_track_readahead_and_flushes() {
+        let mut c = cache(256);
+        c.read(SimTime::ZERO, F, 0, Bytes(4096), SZ);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), c.hit_stats());
+        assert!(s.readahead_pages > 0, "sequential start should prefetch");
+        assert_eq!((s.flushes, s.flushed_pages), (0, 0));
+
+        c.write(SimTime::ZERO, F, 50 * 4096, Bytes(2 * 4096));
+        c.flush_due(SimTime::from_secs(6), true);
+        let s = c.stats();
+        assert_eq!((s.flushes, s.flushed_pages), (1, 2));
+        // An empty flush round is not counted.
+        c.flush_due(SimTime::from_secs(7), true);
+        assert_eq!(c.stats().flushes, 1);
+        c.write(SimTime::from_secs(8), F, 60 * 4096, Bytes(4096));
+        c.flush_all();
+        let s = c.stats();
+        assert_eq!((s.flushes, s.flushed_pages), (2, 3));
     }
 
     #[test]

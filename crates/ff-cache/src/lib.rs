@@ -45,7 +45,7 @@ pub mod readahead;
 pub mod twoq;
 pub mod writeback;
 
-pub use cache::{BufferCache, CacheConfig, ReadOutcome, WriteOutcome};
+pub use cache::{BufferCache, CacheConfig, CacheStats, ReadOutcome, WriteOutcome};
 pub use cscan::CScanQueue;
 pub use flashcache::FlashCache;
 pub use page::PageKey;

@@ -16,6 +16,11 @@
 //! peak bandwidth. A request arriving mid-spin-down waits for the
 //! spin-down to finish and then pays the full spin-up — the paper's
 //! motivation for not blindly waking the disk.
+//!
+//! The state machine above is model-checked by `ff-lint` against the
+//! `match self.state` transitions in this file, and every transition is
+//! visible at run time as a `device_transition` observability event
+//! (DESIGN.md §9 and §10).
 
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, PowerModel, ServiceOutcome};
@@ -182,6 +187,19 @@ impl DiskModel {
     /// Record a chronological power log (see [`StateMeter::power_log`]).
     pub fn enable_power_log(&mut self) {
         self.meter.enable_log();
+    }
+
+    /// Record timestamped state changes for the observability recorder
+    /// (see [`StateMeter::enable_state_log`]). Off by default; the
+    /// simulator enables it only when a recorder is attached.
+    pub fn enable_state_log(&mut self) {
+        self.meter.enable_state_log(self.clock);
+    }
+
+    /// Drain state changes recorded since the last drain (see
+    /// [`StateMeter::take_state_changes`]).
+    pub fn take_state_changes(&mut self) -> Vec<crate::meter::StateChange> {
+        self.meter.take_state_changes()
     }
 
     /// Head-positioning cost class for `req` given the previous position.

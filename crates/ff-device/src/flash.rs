@@ -84,6 +84,18 @@ impl FlashModel {
     pub fn enable_power_log(&mut self) {
         self.meter.enable_log();
     }
+
+    /// Record timestamped state changes for the observability recorder
+    /// (see [`StateMeter::enable_state_log`]).
+    pub fn enable_state_log(&mut self) {
+        self.meter.enable_state_log(self.clock);
+    }
+
+    /// Drain state changes recorded since the last drain (see
+    /// [`StateMeter::take_state_changes`]).
+    pub fn take_state_changes(&mut self) -> Vec<crate::meter::StateChange> {
+        self.meter.take_state_changes()
+    }
 }
 
 impl PowerModel for FlashModel {

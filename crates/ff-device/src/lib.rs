@@ -37,6 +37,8 @@
 //! assert_eq!(disk.meter().transition_count("spin_down"), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod disk;
 pub mod flash;
 pub mod meter;
@@ -46,7 +48,7 @@ pub mod wnic;
 
 pub use disk::{DiskModel, DiskParams, DiskState};
 pub use flash::{FlashModel, FlashParams};
-pub use meter::{PowerEvent, StateMeter};
+pub use meter::{PowerEvent, StateChange, StateMeter};
 pub use model::{DeviceRequest, Dir, PowerModel, ServiceOutcome};
 pub use spindown::ShareSpindown;
 pub use wnic::{WnicModel, WnicParams, WnicState};

@@ -21,6 +21,11 @@
 //! Transfers draw the direction-specific receive/send power; the
 //! round-trip latency to the remote server (a sweep axis in §3.3) dwells
 //! at the mode's idle power.
+//!
+//! The state machine above is model-checked by `ff-lint` against the
+//! `match self.state` transitions in this file, and every transition is
+//! visible at run time as a `device_transition` observability event
+//! (DESIGN.md §9 and §10).
 
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, Dir, PowerModel, ServiceOutcome};
@@ -174,6 +179,18 @@ impl WnicModel {
     /// Record a chronological power log (see [`StateMeter::power_log`]).
     pub fn enable_power_log(&mut self) {
         self.meter.enable_log();
+    }
+
+    /// Record timestamped state changes for the observability recorder
+    /// (see [`StateMeter::enable_state_log`]).
+    pub fn enable_state_log(&mut self) {
+        self.meter.enable_state_log(self.clock);
+    }
+
+    /// Drain state changes recorded since the last drain (see
+    /// [`StateMeter::take_state_changes`]).
+    pub fn take_state_changes(&mut self) -> Vec<crate::meter::StateChange> {
+        self.meter.take_state_changes()
     }
 
     /// Change the link bandwidth mid-run (reception quality shifted —

@@ -87,6 +87,10 @@ pub struct FlexFetch {
     prev_external: Option<SimTime>,
     /// Decision history: `(when, what, why)` — inspection/report hook.
     log: Vec<(SimTime, Source, &'static str)>,
+    /// Whether any decision was ever logged. Kept separate from
+    /// `log.is_empty()` so draining the log mid-run (incremental
+    /// observability export) cannot perturb decision behaviour.
+    logged: bool,
     /// Instant the current decision took effect (audit stability gate).
     stable_since: SimTime,
 }
@@ -108,6 +112,7 @@ impl FlexFetch {
             last_external: None,
             prev_external: None,
             log: Vec::new(),
+            logged: false,
             stable_since: SimTime::ZERO,
         }
     }
@@ -135,8 +140,9 @@ impl FlexFetch {
     }
 
     fn set_current(&mut self, now: SimTime, src: Source, why: &'static str) {
-        if self.current != src || self.log.is_empty() {
+        if self.current != src || !self.logged {
             self.log.push((now, src, why));
+            self.logged = true;
             self.stable_since = now;
         }
         self.current = src;

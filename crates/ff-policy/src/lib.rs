@@ -31,6 +31,8 @@
 //! assert_eq!(decide(disk, net, 0.05), Source::Disk);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bluefs;
 pub mod fixed;
 pub mod flexfetch;

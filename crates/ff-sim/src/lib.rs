@@ -40,12 +40,16 @@
 //! assert_eq!(report.wnic_requests, 0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod battery;
 pub mod config;
+pub mod record;
 pub mod report;
 pub mod sim;
 
 pub use battery::Battery;
 pub use config::SimConfig;
+pub use record::{CountingRecorder, Event, EventLog, NullRecorder, Recorder};
 pub use report::{SimReport, StageSummary};
 pub use sim::Simulation;

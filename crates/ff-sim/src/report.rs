@@ -78,6 +78,9 @@ pub struct SimReport {
     pub cache_hits: u64,
     /// Buffer-cache demand misses (pages).
     pub cache_misses: u64,
+    /// Full buffer-cache activity counters (readahead, flush rounds) —
+    /// the ground truth the observability events are checked against.
+    pub cache_stats: ff_cache::CacheStats,
     /// Evaluation stages completed.
     pub stages: usize,
     /// The profile the policy recorded for the next run, if any.
@@ -147,6 +150,7 @@ mod tests {
             flash_bytes: Bytes::ZERO,
             cache_hits: 30,
             cache_misses: 10,
+            cache_stats: ff_cache::CacheStats::default(),
             stages: 3,
             recorded_profile: None,
             decisions: Vec::new(),

@@ -1,6 +1,7 @@
 //! The replay engine.
 
 use crate::config::SimConfig;
+use crate::record::{Device, Event as ObsEvent, NullRecorder, Recorder};
 use crate::report::SimReport;
 use ff_base::{size::PAGE_SIZE, Bytes, Dur, Error, Joules, Result, SimTime};
 use ff_cache::cscan::{BlockRequest, CScanQueue};
@@ -45,11 +46,36 @@ impl<'t> Simulation<'t> {
 
     /// Run to completion.
     pub fn run(self) -> Result<SimReport> {
+        let mut null = NullRecorder;
+        self.run_recorded(&mut null)
+    }
+
+    /// Run to completion, streaming observability [`ObsEvent`]s into
+    /// `recorder` (see [`crate::record`]). A [`NullRecorder`] makes
+    /// this equivalent to [`Simulation::run`]; any recorder leaves the
+    /// returned [`SimReport`] unchanged — recorders observe, they do
+    /// not steer.
+    ///
+    /// ```
+    /// use ff_policy::PolicyKind;
+    /// use ff_sim::{EventLog, SimConfig, Simulation};
+    /// use ff_trace::{Grep, Workload};
+    ///
+    /// let trace = Grep { files: 8, total_bytes: 400_000, ..Default::default() }.build(42);
+    /// let mut log = EventLog::new();
+    /// let report = Simulation::new(SimConfig::default(), &trace)
+    ///     .policy(PolicyKind::DiskOnly)
+    ///     .run_recorded(&mut log)
+    ///     .unwrap();
+    /// assert_eq!(log.count("app_call"), report.app_requests);
+    /// assert!(log.count("decision") > 0);
+    /// ```
+    pub fn run_recorded(self, recorder: &mut dyn Recorder) -> Result<SimReport> {
         self.trace.validate()?;
         if self.trace.is_empty() {
             return Err(Error::Config("cannot simulate an empty trace".into()));
         }
-        Runner::new(self.config, self.trace, self.policy).run()
+        Runner::new(self.config, self.trace, self.policy, recorder).run()
     }
 }
 
@@ -67,15 +93,19 @@ enum EventKind {
     WnicChange(usize),
 }
 
-type Event = (SimTime, u64, EventKind);
+type QueuedEvent = (SimTime, u64, EventKind);
 
 /// A list of contiguous page runs `(first_page, n_pages)`.
 type PageRuns = Vec<(u64, u64)>;
 
-struct Runner<'t> {
+struct Runner<'t, 'r> {
     cfg: SimConfig,
     trace: &'t Trace,
     policy: Box<dyn Policy>,
+    /// Observability sink; `tracing` caches `recorder.enabled()` so the
+    /// disabled path never constructs events.
+    recorder: &'r mut dyn Recorder,
+    tracing: bool,
     disk: DiskModel,
     wnic: WnicModel,
     /// Optional flash tier: device model + membership tracker.
@@ -85,7 +115,7 @@ struct Runner<'t> {
     /// Per-process-group `(record index, think time after)` queues,
     /// consumed front to back.
     queues: BTreeMap<u32, std::collections::VecDeque<(usize, Dur)>>,
-    events: BinaryHeap<Reverse<Event>>,
+    events: BinaryHeap<Reverse<QueuedEvent>>,
     seq: u64,
     remaining_calls: usize,
     // Stage tracking.
@@ -107,10 +137,19 @@ struct Runner<'t> {
     flash_requests: u64,
     flash_bytes: Bytes,
     stages_done: usize,
+    /// Policy decisions drained incrementally (so the recorder sees
+    /// them as they happen); becomes `SimReport::decisions`.
+    decisions: Vec<(SimTime, Source, &'static str)>,
 }
 
-impl<'t> Runner<'t> {
-    fn new(cfg: SimConfig, trace: &'t Trace, policy: Box<dyn Policy>) -> Self {
+impl<'t, 'r> Runner<'t, 'r> {
+    fn new(
+        cfg: SimConfig,
+        trace: &'t Trace,
+        policy: Box<dyn Policy>,
+        recorder: &'r mut dyn Recorder,
+    ) -> Self {
+        let tracing = recorder.enabled();
         let layout = DiskLayout::build(&trace.files, cfg.layout_seed);
         let mut disk_params = cfg.disk.clone();
         if let Some(timeout) = policy.disk_timeout_override() {
@@ -131,6 +170,13 @@ impl<'t> Runner<'t> {
             wnic.enable_power_log();
             if let Some((f, _)) = &mut flash {
                 f.enable_power_log();
+            }
+        }
+        if tracing {
+            disk.enable_state_log();
+            wnic.enable_state_log();
+            if let Some((f, _)) = &mut flash {
+                f.enable_state_log();
             }
         }
         let cache = BufferCache::new(cfg.cache.clone());
@@ -166,6 +212,8 @@ impl<'t> Runner<'t> {
             cfg,
             trace,
             policy,
+            recorder,
+            tracing,
             disk,
             wnic,
             flash,
@@ -191,7 +239,14 @@ impl<'t> Runner<'t> {
             flash_requests: 0,
             flash_bytes: Bytes::ZERO,
             stages_done: 0,
+            decisions: Vec::new(),
         };
+        if runner.tracing {
+            runner.recorder.record(&ObsEvent::StageStart {
+                at: SimTime::ZERO,
+                index: 0,
+            });
+        }
         // Seed events: each pid's first call at its recorded start time,
         // plus the flusher and the first stage boundary.
         let firsts: Vec<(u32, SimTime)> = runner
@@ -230,14 +285,93 @@ impl<'t> Runner<'t> {
             .any(|&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
     }
 
+    /// Record one observability event (no-op unless a recorder is
+    /// attached — call sites guard with `self.tracing` so disabled runs
+    /// never construct events).
+    fn emit(&mut self, ev: ObsEvent) {
+        self.recorder.record(&ev);
+    }
+
+    /// Forward the devices' timestamped state changes to the recorder.
+    /// Called after each discrete event; each device's changes arrive
+    /// in its own chronological order (the log output sorts by time).
+    fn drain_device_events(&mut self) {
+        if !self.tracing {
+            return;
+        }
+        for (device, changes) in [
+            (Device::Disk, self.disk.take_state_changes()),
+            (Device::Wnic, self.wnic.take_state_changes()),
+            (
+                Device::Flash,
+                self.flash
+                    .as_mut()
+                    .map(|(f, _)| f.take_state_changes())
+                    .unwrap_or_default(),
+            ),
+        ] {
+            for c in changes {
+                let ev = if c.transition {
+                    ObsEvent::DeviceTransition {
+                        at: c.at,
+                        device,
+                        name: c.state,
+                        energy: c.energy,
+                    }
+                } else {
+                    ObsEvent::DeviceState {
+                        at: c.at,
+                        device,
+                        state: c.state,
+                    }
+                };
+                self.emit(ev);
+            }
+        }
+    }
+
+    /// Drain the policy's decision history into `self.decisions`,
+    /// surfacing each fresh entry as an adaptation event. Draining
+    /// incrementally (rather than once at the end) changes nothing in
+    /// the report: the concatenation of drains *is* the full log.
+    fn drain_decisions(&mut self) {
+        let fresh = self.policy.take_decision_log();
+        if self.tracing {
+            for &(at, source, trigger) in &fresh {
+                self.emit(ObsEvent::Adaptation {
+                    at,
+                    source,
+                    trigger,
+                });
+            }
+        }
+        self.decisions.extend(fresh);
+    }
+
     /// Route a request: pinned files always hit the disk and surface as
     /// external activity; non-hoarded files can only ride the WNIC;
     /// everything else asks the policy — overridden to the disk while
-    /// the wireless link is down.
-    fn route(&mut self, now: SimTime, req: &AppRequest) -> (Source, bool) {
+    /// the wireless link is down. Returns the source, whether the
+    /// request is external (pinned), and a stable rationale tag for the
+    /// observability layer.
+    fn route(&mut self, now: SimTime, req: &AppRequest) -> (Source, bool, &'static str) {
+        let routed = self.route_inner(now, req);
+        if self.tracing {
+            let (source, external, rationale) = routed;
+            self.emit(ObsEvent::Decision {
+                at: now,
+                source,
+                rationale,
+                external,
+            });
+        }
+        routed
+    }
+
+    fn route_inner(&mut self, now: SimTime, req: &AppRequest) -> (Source, bool, &'static str) {
         if self.cfg.disk_only_files.contains(&req.file) {
             self.policy.on_external_disk(now);
-            return (Source::Disk, true);
+            return (Source::Disk, true, "pinned");
         }
         if self.cfg.network_only_files.contains(&req.file) {
             if self.wnic_out(now) {
@@ -253,17 +387,17 @@ impl<'t> Runner<'t> {
                 {
                     self.wnic.advance_to(resume);
                 }
-                return (Source::Wnic, false);
+                return (Source::Wnic, false, "unhoarded-stall");
             }
             // Not hoarded: the local disk has no copy. The policy is not
             // consulted — there is no choice to make — but the request is
             // still the profiled program's own I/O (not external).
-            return (Source::Wnic, false);
+            return (Source::Wnic, false, "unhoarded");
         }
         if self.wnic_out(now) {
             // Link down: fail over to the disk regardless of preference.
             // The policy still observes the outcome (measured adaptation).
-            return (Source::Disk, false);
+            return (Source::Disk, false, "outage-failover");
         }
         let Runner {
             policy,
@@ -281,7 +415,7 @@ impl<'t> Runner<'t> {
             layout,
             resident: &resident,
         };
-        (policy.select(&ctx, req), false)
+        (policy.select(&ctx, req), false, "policy")
     }
 
     fn notify_observe(
@@ -547,6 +681,18 @@ impl<'t> Runner<'t> {
             len: rec.len,
         };
 
+        if self.tracing {
+            self.emit(ObsEvent::AppCall {
+                at: t,
+                file: rec.file.0,
+                op: match rec.op {
+                    IoOp::Read => "read",
+                    IoOp::Write => "write",
+                },
+                offset: rec.offset,
+                len: rec.len,
+            });
+        }
         let mut energy = Joules::ZERO;
         let mut done = t;
         let mut routed: Option<(Source, bool)> = None;
@@ -554,11 +700,20 @@ impl<'t> Runner<'t> {
         match rec.op {
             IoOp::Read => {
                 let out = self.cache.read(t, rec.file, rec.offset, rec.len, meta_size);
+                if self.tracing {
+                    self.emit(ObsEvent::CacheRead {
+                        at: t,
+                        file: rec.file.0,
+                        hit_pages: out.hit_pages,
+                        miss_pages: out.demand.iter().map(|&(_, n)| n).sum(),
+                        readahead_pages: out.prefetch.iter().map(|&(_, n)| n).sum(),
+                    });
+                }
                 if !out.demand.is_empty()
                     || !out.prefetch.is_empty()
                     || !out.evicted_dirty.is_empty()
                 {
-                    let (source, external) = self.route(t, &app_req);
+                    let (source, external, _) = self.route(t, &app_req);
                     routed = Some((source, external));
                     let (d1, e1) = self.write_dirty(t, &out.evicted_dirty, source);
                     let (d2, e2) =
@@ -583,7 +738,7 @@ impl<'t> Runner<'t> {
                 // Into the page cache; the flusher pays the device cost.
                 let wout = self.cache.write(t, rec.file, rec.offset, rec.len);
                 if !wout.evicted_dirty.is_empty() {
-                    let (source, external) = self.route(t, &app_req);
+                    let (source, external, _) = self.route(t, &app_req);
                     routed = Some((source, external));
                     let (d, e) = self.write_dirty(t, &wout.evicted_dirty, source);
                     energy += e;
@@ -627,6 +782,12 @@ impl<'t> Runner<'t> {
         if pages.is_empty() {
             return;
         }
+        if self.tracing {
+            self.emit(ObsEvent::WritebackFlush {
+                at: now,
+                pages: u64::try_from(pages.len()).unwrap_or(u64::MAX),
+            });
+        }
         // Route the batch: pinned files to the disk, the rest wherever
         // the policy currently points writes.
         let probe = AppRequest {
@@ -635,7 +796,7 @@ impl<'t> Runner<'t> {
             offset: pages[0].index * PAGE_SIZE,
             len: Bytes(PAGE_SIZE),
         };
-        let (source, _) = self.route(now, &probe);
+        let (source, _, _) = self.route(now, &probe);
         let _ = self.write_dirty(now, &pages, source);
     }
 
@@ -673,14 +834,39 @@ impl<'t> Runner<'t> {
             policy.on_stage_end(&ctx, &report);
         }
         let fetched_now = self.disk_bytes + self.wnic_bytes;
+        let fetched = fetched_now.saturating_sub(self.stage_bytes_mark);
         self.stage_summaries.push(crate::report::StageSummary {
             index: self.stage_index,
             start: self.stage_start,
             end: now,
             disk_energy: report.disk_energy,
             wnic_energy: report.wnic_energy,
-            fetched: fetched_now.saturating_sub(self.stage_bytes_mark),
+            fetched,
         });
+        self.drain_decisions();
+        if self.tracing {
+            self.emit(ObsEvent::StageEnd {
+                at: now,
+                index: self.stage_index,
+                disk_energy: report.disk_energy,
+                wnic_energy: report.wnic_energy,
+                fetched,
+            });
+            self.emit(ObsEvent::EnergySample {
+                at: now,
+                disk_energy: self.disk.energy(),
+                wnic_energy: self.wnic.energy(),
+                flash_energy: self
+                    .flash
+                    .as_ref()
+                    .map(|(f, _)| f.energy())
+                    .unwrap_or(Joules::ZERO),
+            });
+            self.emit(ObsEvent::StageStart {
+                at: now,
+                index: self.stage_index + 1,
+            });
+        }
         self.stage_bytes_mark = fetched_now;
         self.stage_index += 1;
         self.stages_done += 1;
@@ -733,6 +919,7 @@ impl<'t> Runner<'t> {
                         .set_bandwidth(ff_base::BytesPerSec::from_mbit_per_sec(mbps));
                 }
             }
+            self.drain_device_events();
         }
 
         // Final sync: everything still dirty is written out, then both
@@ -740,13 +927,19 @@ impl<'t> Runner<'t> {
         let end = self.last_completion;
         let dirty = self.cache.flush_all();
         if !dirty.is_empty() {
+            if self.tracing {
+                self.emit(ObsEvent::WritebackFlush {
+                    at: end,
+                    pages: u64::try_from(dirty.len()).unwrap_or(u64::MAX),
+                });
+            }
             let probe = AppRequest {
                 file: dirty[0].file,
                 op: IoOp::Write,
                 offset: dirty[0].index * PAGE_SIZE,
                 len: Bytes(PAGE_SIZE),
             };
-            let (source, _) = self.route(end, &probe);
+            let (source, _, _) = self.route(end, &probe);
             let _ = self.write_dirty(end, &dirty, source);
         }
         // Final destage of any flash-buffered writes.
@@ -766,6 +959,20 @@ impl<'t> Runner<'t> {
         self.wnic.advance_to(final_t);
         if let Some((f, _)) = &mut self.flash {
             f.advance_to(final_t);
+        }
+        self.drain_device_events();
+        self.drain_decisions();
+        if self.tracing {
+            self.emit(ObsEvent::EnergySample {
+                at: final_t,
+                disk_energy: self.disk.energy(),
+                wnic_energy: self.wnic.energy(),
+                flash_energy: self
+                    .flash
+                    .as_ref()
+                    .map(|(f, _)| f.energy())
+                    .unwrap_or(Joules::ZERO),
+            });
         }
 
         let (hits, misses) = self.cache.hit_stats();
@@ -792,9 +999,10 @@ impl<'t> Runner<'t> {
             flash_bytes: self.flash_bytes,
             cache_hits: hits,
             cache_misses: misses,
+            cache_stats: self.cache.stats(),
             stages: self.stages_done,
             recorded_profile: self.policy.recorded_profile(),
-            decisions: self.policy.take_decision_log(),
+            decisions: self.decisions,
             stage_summaries: self.stage_summaries,
         })
     }

@@ -33,6 +33,9 @@ if ! cargo run -q -p ff-lint -- --json --forbid-stale > results/lint-report.json
 fi
 echo "    report: results/lint-report.json"
 
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> cargo build --release"
 cargo build --release
 

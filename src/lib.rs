@@ -41,6 +41,12 @@ pub use ff_profile as profile;
 pub use ff_sim as sim;
 pub use ff_trace as trace;
 
+// Compile-tests every Rust code block in README.md as a doctest, so the
+// quick-start snippet can never drift from the real API.
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+struct ReadmeDoctests;
+
 /// One-stop imports for examples and applications.
 pub mod prelude {
     pub use ff_base::{Bytes, BytesPerSec, Dur, Joules, SimTime, Watts};
