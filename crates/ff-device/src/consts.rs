@@ -1,0 +1,101 @@
+//! Canonical physical constants of the paper's device tables.
+//!
+//! Single source of truth for every Table 1 / Table 2 calibration value
+//! (plus the §3.1 prose constants). The device constructors
+//! ([`crate::DiskParams::hitachi_dk23da`],
+//! [`crate::WnicParams::cisco_aironet350`]) read these; nothing else in
+//! `ff-device`/`ff-policy`/`ff-sim` may repeat the raw numbers —
+//! `ff-lint`'s `const-provenance` family flags any matching literal that
+//! bypasses this module, and cross-checks the values below against its
+//! own pinned registry so neither side can drift alone.
+//!
+//! Values are raw numbers (not newtypes) in the unit named by the
+//! suffix, so call sites stay greppable: `Watts(DISK_ACTIVE_POWER_W)`.
+
+// --------------------------------------------------------------------
+// Table 1 — Hitachi DK23DA 2.5" hard disk (30 GB, 4200 RPM)
+// --------------------------------------------------------------------
+
+/// Power while reading or writing (Table 1: 2.0 W).
+pub const DISK_ACTIVE_POWER_W: f64 = 2.0;
+/// Power while spinning idle (Table 1: 1.6 W).
+pub const DISK_IDLE_POWER_W: f64 = 1.6;
+/// Power in standby, platters stopped (Table 1: 0.15 W).
+pub const DISK_STANDBY_POWER_W: f64 = 0.15;
+/// Energy of one spin-up transient (Table 1: 5.0 J).
+pub const DISK_SPINUP_ENERGY_J: f64 = 5.0;
+/// Energy of one spin-down transient (Table 1: 2.94 J).
+pub const DISK_SPINDOWN_ENERGY_J: f64 = 2.94;
+/// Duration of a spin-up (Table 1: 1.6 s).
+pub const DISK_SPINUP_TIME_MS: u64 = 1_600;
+/// Duration of a spin-down (Table 1: 2.3 s).
+pub const DISK_SPINDOWN_TIME_MS: u64 = 2_300;
+/// Idle time before the disk spins down (§3.1: 20 s, the Linux
+/// laptop-mode default).
+pub const DISK_TIMEOUT_S: u64 = 20;
+/// Average seek time (§3.1: 13 ms).
+pub const DISK_SEEK_MS: u64 = 13;
+/// Average rotational delay (§3.1: 7 ms, half a 4200 RPM revolution).
+pub const DISK_ROTATION_MS: u64 = 7;
+/// Peak transfer bandwidth (§3.1: 35 MB/s).
+pub const DISK_BANDWIDTH_MB_S: f64 = 35.0;
+/// Short-seek settle time for near targets (track-to-track scale).
+pub const DISK_SHORT_SEEK_MS: u64 = 2;
+/// Maximum block distance still counted as a short seek (8 MiB of LBA).
+pub const DISK_SHORT_SEEK_BLOCKS: u64 = 2048;
+
+// --------------------------------------------------------------------
+// Table 2 — Cisco Aironet 350 802.11b WNIC
+// --------------------------------------------------------------------
+
+/// PSM idle power (Table 2: 0.39 W).
+pub const WNIC_PSM_IDLE_W: f64 = 0.39;
+/// PSM receive power (Table 2: 1.42 W).
+pub const WNIC_PSM_RECV_W: f64 = 1.42;
+/// PSM send power (Table 2: 2.48 W).
+pub const WNIC_PSM_SEND_W: f64 = 2.48;
+/// CAM idle power (Table 2: 1.41 W).
+pub const WNIC_CAM_IDLE_W: f64 = 1.41;
+/// CAM receive power (Table 2: 2.61 W).
+pub const WNIC_CAM_RECV_W: f64 = 2.61;
+/// CAM send power (Table 2: 3.69 W).
+pub const WNIC_CAM_SEND_W: f64 = 3.69;
+/// Duration of the CAM→PSM switch (Table 2: 0.41 s).
+pub const WNIC_TO_PSM_TIME_MS: u64 = 410;
+/// Energy of the CAM→PSM switch (Table 2: 0.53 J).
+pub const WNIC_TO_PSM_ENERGY_J: f64 = 0.53;
+/// Duration of the PSM→CAM switch (Table 2: 0.40 s).
+pub const WNIC_TO_CAM_TIME_MS: u64 = 400;
+/// Energy of the PSM→CAM switch (Table 2: 0.51 J).
+pub const WNIC_TO_CAM_ENERGY_J: f64 = 0.51;
+/// CAM idle time before switching to PSM (§3.1: 800 ms).
+pub const WNIC_PSM_TIMEOUT_MS: u64 = 800;
+/// Link bandwidth of the paper's card (802.11b top rate: 11 Mbps).
+pub const WNIC_BANDWIDTH_MBPS: f64 = 11.0;
+/// Round-trip latency to the remote storage server (the fixed-latency
+/// point of the §3.3 sweep).
+pub const WNIC_LATENCY_MS: u64 = 1;
+/// Largest request drainable during a PSM beacon wake-up without
+/// switching to CAM — one MTU packet.
+pub const WNIC_PSM_PACKET_BYTES: u64 = 1500;
+/// 802.11 beacon interval; a PSM-serviced request waits half of it on
+/// average.
+pub const WNIC_BEACON_INTERVAL_MS: u64 = 100;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_orderings_hold() {
+        // Table 1: standby < idle <= active.
+        assert!(DISK_STANDBY_POWER_W < DISK_IDLE_POWER_W);
+        assert!(DISK_IDLE_POWER_W <= DISK_ACTIVE_POWER_W);
+        // Table 2: PSM draws less than CAM in every mode.
+        assert!(WNIC_PSM_IDLE_W < WNIC_CAM_IDLE_W);
+        assert!(WNIC_PSM_RECV_W < WNIC_CAM_RECV_W);
+        assert!(WNIC_PSM_SEND_W < WNIC_CAM_SEND_W);
+        // §3.1: the WNIC drops to PSM long before the disk spins down.
+        assert!(WNIC_PSM_TIMEOUT_MS < DISK_TIMEOUT_S * 1_000);
+    }
+}

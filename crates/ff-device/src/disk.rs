@@ -22,6 +22,7 @@
 //! visible at run time as a `device_transition` observability event
 //! (DESIGN.md §9 and §10).
 
+use crate::consts;
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, PowerModel, ServiceOutcome};
 use ff_base::{BytesPerSec, Dur, Joules, SimTime, Watts};
@@ -64,22 +65,24 @@ pub struct DiskParams {
 }
 
 impl DiskParams {
-    /// The paper's disk: Hitachi DK23DA (30 GB, 4200 RPM).
+    /// The paper's disk: Hitachi DK23DA (30 GB, 4200 RPM). Every value
+    /// comes from [`crate::consts`], the single source of truth for the
+    /// Table 1 calibration numbers.
     pub fn hitachi_dk23da() -> Self {
         DiskParams {
-            active_power: Watts(2.0),
-            idle_power: Watts(1.6),
-            standby_power: Watts(0.15),
-            spinup_energy: Joules(5.0),
-            spindown_energy: Joules(2.94),
-            spinup_time: Dur::from_millis(1_600),
-            spindown_time: Dur::from_millis(2_300),
-            timeout: Dur::from_secs(20),
-            seek: Dur::from_millis(13),
-            rotation: Dur::from_millis(7),
-            bandwidth: BytesPerSec::from_mb_per_sec(35.0),
-            short_seek: Dur::from_millis(2),
-            short_seek_blocks: 2048, // 8 MiB of LBA distance
+            active_power: Watts(consts::DISK_ACTIVE_POWER_W),
+            idle_power: Watts(consts::DISK_IDLE_POWER_W),
+            standby_power: Watts(consts::DISK_STANDBY_POWER_W),
+            spinup_energy: Joules(consts::DISK_SPINUP_ENERGY_J),
+            spindown_energy: Joules(consts::DISK_SPINDOWN_ENERGY_J),
+            spinup_time: Dur::from_millis(consts::DISK_SPINUP_TIME_MS),
+            spindown_time: Dur::from_millis(consts::DISK_SPINDOWN_TIME_MS),
+            timeout: Dur::from_secs(consts::DISK_TIMEOUT_S),
+            seek: Dur::from_millis(consts::DISK_SEEK_MS),
+            rotation: Dur::from_millis(consts::DISK_ROTATION_MS),
+            bandwidth: BytesPerSec::from_mb_per_sec(consts::DISK_BANDWIDTH_MB_S),
+            short_seek: Dur::from_millis(consts::DISK_SHORT_SEEK_MS),
+            short_seek_blocks: consts::DISK_SHORT_SEEK_BLOCKS,
         }
     }
 

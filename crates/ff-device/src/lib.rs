@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+pub mod consts;
 pub mod disk;
 pub mod flash;
 pub mod meter;

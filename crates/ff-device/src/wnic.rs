@@ -27,6 +27,7 @@
 //! visible at run time as a `device_transition` observability event
 //! (DESIGN.md §9 and §10).
 
+use crate::consts;
 use crate::meter::StateMeter;
 use crate::model::{DeviceRequest, Dir, PowerModel, ServiceOutcome};
 use ff_base::{BytesPerSec, Dur, Joules, SimTime, Watts};
@@ -71,24 +72,26 @@ pub struct WnicParams {
 }
 
 impl WnicParams {
-    /// The paper's card at 11 Mbps with 1 ms server latency.
+    /// The paper's card at 11 Mbps with 1 ms server latency. Every value
+    /// comes from [`crate::consts`], the single source of truth for the
+    /// Table 2 calibration numbers.
     pub fn cisco_aironet350() -> Self {
         WnicParams {
-            psm_idle: Watts(0.39),
-            psm_recv: Watts(1.42),
-            psm_send: Watts(2.48),
-            cam_idle: Watts(1.41),
-            cam_recv: Watts(2.61),
-            cam_send: Watts(3.69),
-            to_psm_time: Dur::from_millis(410),
-            to_psm_energy: Joules(0.53),
-            to_cam_time: Dur::from_millis(400),
-            to_cam_energy: Joules(0.51),
-            psm_timeout: Dur::from_millis(800),
-            bandwidth: BytesPerSec::from_mbit_per_sec(11.0),
-            latency: Dur::from_millis(1),
-            psm_packet_bytes: 1500,
-            beacon_interval: Dur::from_millis(100),
+            psm_idle: Watts(consts::WNIC_PSM_IDLE_W),
+            psm_recv: Watts(consts::WNIC_PSM_RECV_W),
+            psm_send: Watts(consts::WNIC_PSM_SEND_W),
+            cam_idle: Watts(consts::WNIC_CAM_IDLE_W),
+            cam_recv: Watts(consts::WNIC_CAM_RECV_W),
+            cam_send: Watts(consts::WNIC_CAM_SEND_W),
+            to_psm_time: Dur::from_millis(consts::WNIC_TO_PSM_TIME_MS),
+            to_psm_energy: Joules(consts::WNIC_TO_PSM_ENERGY_J),
+            to_cam_time: Dur::from_millis(consts::WNIC_TO_CAM_TIME_MS),
+            to_cam_energy: Joules(consts::WNIC_TO_CAM_ENERGY_J),
+            psm_timeout: Dur::from_millis(consts::WNIC_PSM_TIMEOUT_MS),
+            bandwidth: BytesPerSec::from_mbit_per_sec(consts::WNIC_BANDWIDTH_MBPS),
+            latency: Dur::from_millis(consts::WNIC_LATENCY_MS),
+            psm_packet_bytes: consts::WNIC_PSM_PACKET_BYTES,
+            beacon_interval: Dur::from_millis(consts::WNIC_BEACON_INTERVAL_MS),
         }
     }
 

@@ -95,6 +95,12 @@ impl Baseline {
             .filter(move |(r, _, _)| r == rule.as_str())
     }
 
+    /// True when a family has no accepted debt at all — the pinned-at-
+    /// zero state the tier-1 gate asserts for the semantic families.
+    pub fn is_empty_for(&self, rule: Rule) -> bool {
+        self.keys_for_rule(rule).next().is_none()
+    }
+
     /// Load from a JSON file written by [`Baseline::to_json`].
     pub fn load(path: &Path) -> Result<Self> {
         let text = std::fs::read_to_string(path)

@@ -1,0 +1,1030 @@
+//! Interprocedural unit/dimension flow analysis.
+//!
+//! The intra-procedural [`crate::units`] pass stops at two boundaries:
+//! it knows nothing about what a *call* returns, and it can only check
+//! arguments of callees that resolve uniquely by bare name. This pass
+//! closes both gaps using the same graded name resolution as the
+//! [`crate::callgraph`]:
+//!
+//! * every `fn` gets a **summary** — parameter dimensions from the
+//!   suffix convention, and a return dimension from the fn's own name
+//!   suffix (`fn beacon_interval_ms()`) or, via a small fixpoint, from
+//!   the dimensions its `return`/tail expressions carry;
+//! * call results then flow through `let` bindings, so an `_ms` value
+//!   produced two crates away and passed to a `_us` parameter is caught
+//!   even though no identifier at the call site spells a unit;
+//! * the dimension lattice is wider than time: `_j`/`_joules` (energy)
+//!   and `_bytes` (size) are tracked too, so adding joules to
+//!   microseconds is a finding even though both sides are "units" the
+//!   old pass cannot compare.
+//!
+//! Findings are emitted under the `unit-flow-interproc` family and are
+//! deliberately disjoint from `unit-flow`: a mismatch is only reported
+//! here when at least one side's dimension came through a call boundary
+//! or when the two sides live in different dimensions — anything the
+//! intra-procedural pass can already see stays in its family.
+
+use crate::callgraph::{call_sites, STD_COLLIDING_METHODS};
+use crate::items::{split_args, ItemKind, ItemTree};
+use crate::rules::{Finding, Rule};
+use crate::scan::{FileKind, SourceFile};
+use crate::units::{self, Unit};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A physical dimension recovered from suffixes, accessors, or call
+/// summaries. Time keeps its scale; rescaling between dimensions is
+/// never implicit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dim {
+    /// A time quantity at a specific scale.
+    Time(Unit),
+    /// Energy in joules (`_j` / `_joules`).
+    Joules,
+    /// A byte count (`_bytes`).
+    Bytes,
+}
+
+impl Dim {
+    fn label(self) -> &'static str {
+        match self {
+            Dim::Time(u) => u.label(),
+            Dim::Joules => "j",
+            Dim::Bytes => "bytes",
+        }
+    }
+
+    /// Dimension implied by an identifier's suffix.
+    fn of_ident(name: &str) -> Option<Dim> {
+        if let Some(u) = Unit::of_ident(name) {
+            return Some(Dim::Time(u));
+        }
+        for (suffix, dim) in [
+            ("_j", Dim::Joules),
+            ("_joules", Dim::Joules),
+            ("_bytes", Dim::Bytes),
+        ] {
+            if let Some(stem) = name.strip_suffix(suffix) {
+                if !stem.is_empty() {
+                    return Some(dim);
+                }
+            }
+        }
+        None
+    }
+
+    fn is_time(self) -> bool {
+        matches!(self, Dim::Time(_))
+    }
+}
+
+/// A dimension fact plus its provenance: `interproc` is true when the
+/// fact crossed a function boundary (a call's return value), which is
+/// what licenses reporting in this family rather than `unit-flow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fact {
+    dim: Dim,
+    interproc: bool,
+}
+
+impl Fact {
+    fn local(dim: Dim) -> Fact {
+        Fact {
+            dim,
+            interproc: false,
+        }
+    }
+}
+
+/// Per-fn environment: variable name → dimension fact.
+type Env = BTreeMap<String, Fact>;
+
+/// Summary of one workspace fn.
+#[derive(Debug)]
+struct FnInfo {
+    /// Index of the defining file in `sources`.
+    file: usize,
+    /// Index of the item in its tree's arena.
+    item: usize,
+    /// Simple name.
+    name: String,
+    /// Enclosing impl/trait type, when a method.
+    owner: Option<String>,
+    /// Parameter dimensions from the suffix convention (self excluded).
+    param_dims: Vec<Option<Dim>>,
+    /// Return dimension, from the fn-name suffix or flow inference.
+    ret: Option<Dim>,
+}
+
+/// All summaries plus the indices used for graded call resolution.
+struct Summaries {
+    fns: Vec<FnInfo>,
+    /// Bare name → free-fn summary indices.
+    free: BTreeMap<String, Vec<usize>>,
+    /// Method name → summary indices (any owner).
+    methods: BTreeMap<String, Vec<usize>>,
+    /// `Owner::name` → summary indices.
+    qualified: BTreeMap<String, Vec<usize>>,
+}
+
+impl Summaries {
+    /// Candidates for a call site, by the strongest cue available.
+    fn candidates(
+        &self,
+        site_name: &str,
+        qualifier: Option<&str>,
+        method: bool,
+        on_self: bool,
+        self_ty: Option<&str>,
+    ) -> Vec<&FnInfo> {
+        let idxs: &[usize] = if method && on_self {
+            match self_ty.and_then(|t| self.qualified.get(&format!("{t}::{site_name}"))) {
+                Some(v) => v,
+                None => return Vec::new(),
+            }
+        } else if method {
+            match self.methods.get(site_name) {
+                Some(v) => v,
+                None => return Vec::new(),
+            }
+        } else if let Some(q) = qualifier {
+            let owner = if q == "Self" { self_ty.unwrap_or(q) } else { q };
+            if owner.starts_with(char::is_uppercase) {
+                match self.qualified.get(&format!("{owner}::{site_name}")) {
+                    Some(v) => v,
+                    None => return Vec::new(),
+                }
+            } else {
+                // `module::fn` — the module path does not change which
+                // free fn is meant.
+                match self.free.get(site_name) {
+                    Some(v) => v,
+                    None => return Vec::new(),
+                }
+            }
+        } else {
+            match self.free.get(site_name) {
+                Some(v) => v,
+                None => return Vec::new(),
+            }
+        };
+        idxs.iter().map(|&i| &self.fns[i]).collect()
+    }
+
+    /// The agreed return dimension of a call, if every candidate
+    /// signature carries the same one.
+    fn ret_of(
+        &self,
+        site_name: &str,
+        qualifier: Option<&str>,
+        method: bool,
+        on_self: bool,
+        self_ty: Option<&str>,
+    ) -> Option<Dim> {
+        if method && STD_COLLIDING_METHODS.contains(&site_name) {
+            return None;
+        }
+        let cands = self.candidates(site_name, qualifier, method, on_self, self_ty);
+        let first = cands.first()?.ret?;
+        cands.iter().all(|c| c.ret == Some(first)).then_some(first)
+    }
+}
+
+/// Run the interprocedural pass over every first-party library file.
+pub fn analyze(sources: &[SourceFile], trees: &[ItemTree]) -> Vec<Finding> {
+    let summaries = build_summaries(sources, trees);
+    // Callees the intra-procedural pass already checks (unique bare
+    // name, at least one time-suffixed param): their all-local,
+    // time-on-time argument mismatches belong to `unit-flow`.
+    let old_covered: BTreeSet<String> = units::collect_params(sources, trees).into_keys().collect();
+
+    let mut out = Vec::new();
+    for (fi, file) in sources.iter().enumerate() {
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        for (ii, item) in trees[fi].fns() {
+            if item.in_test || item.body_start == 0 {
+                continue;
+            }
+            let ck = Checker {
+                summaries: &summaries,
+                old_covered: &old_covered,
+                self_ty: owner_of(&trees[fi], ii),
+                file: &file.rel_path,
+                fn_name: &item.name,
+                ret_decl: Dim::of_ident(&item.name),
+            };
+            let mut env = Env::new();
+            for p in &item.params {
+                if let Some(d) = Dim::of_ident(p) {
+                    env.insert(p.clone(), Fact::local(d));
+                }
+            }
+            // Last substantive line of the body: the tail-expression
+            // candidate, so `fn f_us() { g_ms() }` is checked like an
+            // explicit `return`.
+            let tail_line = (item.body_start..=item.body_end).rev().find(|&n| {
+                file.lines.get(n - 1).is_some_and(|l| {
+                    let t = l.code.trim();
+                    !t.is_empty() && t.chars().any(|c| c != '{' && c != '}')
+                })
+            });
+            for line_no in item.body_start..=item.body_end {
+                let Some(line) = file.lines.get(line_no - 1) else {
+                    continue;
+                };
+                if line.in_test {
+                    continue;
+                }
+                let code = &line.code;
+                ck.check_additive(code, &env, line_no, &mut out);
+                ck.check_calls(code, &env, line_no, &mut out);
+                ck.check_return(code, &env, line_no, tail_line == Some(line_no), &mut out);
+                ck.bind_let(code, &mut env, line_no, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Enclosing impl/trait type name of the item at `idx`, if any.
+fn owner_of(tree: &ItemTree, idx: usize) -> Option<&str> {
+    let item = &tree.items[idx];
+    let parent = &tree.items[item.parent?];
+    matches!(parent.kind, ItemKind::Impl | ItemKind::Trait).then_some(parent.name.as_str())
+}
+
+/// Build fn summaries, then run a short fixpoint to infer return
+/// dimensions from function bodies (two rounds reach anything a
+/// two-deep helper chain can produce).
+fn build_summaries(sources: &[SourceFile], trees: &[ItemTree]) -> Summaries {
+    let mut fns = Vec::new();
+    for (fi, tree) in trees.iter().enumerate() {
+        if sources[fi].kind != FileKind::Lib {
+            continue;
+        }
+        for (ii, item) in tree.fns() {
+            if item.in_test {
+                continue;
+            }
+            fns.push(FnInfo {
+                file: fi,
+                item: ii,
+                name: item.name.clone(),
+                owner: owner_of(tree, ii).map(str::to_owned),
+                param_dims: item.params.iter().map(|p| Dim::of_ident(p)).collect(),
+                ret: Dim::of_ident(&item.name),
+            });
+        }
+    }
+    let mut free = BTreeMap::new();
+    let mut methods = BTreeMap::new();
+    let mut qualified = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        match &f.owner {
+            Some(owner) => {
+                methods
+                    .entry(f.name.clone())
+                    .or_insert_with(Vec::new)
+                    .push(i);
+                qualified
+                    .entry(format!("{owner}::{}", f.name))
+                    .or_insert_with(Vec::new)
+                    .push(i);
+            }
+            None => free.entry(f.name.clone()).or_insert_with(Vec::new).push(i),
+        }
+    }
+    let mut summaries = Summaries {
+        fns,
+        free,
+        methods,
+        qualified,
+    };
+
+    for _round in 0..2 {
+        let mut inferred: Vec<(usize, Dim)> = Vec::new();
+        for (i, info) in summaries.fns.iter().enumerate() {
+            if info.ret.is_some() {
+                continue;
+            }
+            let tree = &trees[info.file];
+            let item = &tree.items[info.item];
+            if item.body_start == 0 {
+                continue;
+            }
+            let self_ty = owner_of(tree, info.item).map(str::to_owned);
+            if let Some(dim) = infer_ret(
+                &sources[info.file],
+                item.body_start,
+                item.body_end,
+                &item.params,
+                &summaries,
+                self_ty.as_deref(),
+            ) {
+                inferred.push((i, dim));
+            }
+        }
+        if inferred.is_empty() {
+            break;
+        }
+        for (i, dim) in inferred {
+            summaries.fns[i].ret = Some(dim);
+        }
+    }
+    summaries
+}
+
+/// Infer a fn's return dimension from its `return` statements and tail
+/// expression, given the current summaries. All observed return sites
+/// must agree on one dimension.
+fn infer_ret(
+    file: &SourceFile,
+    body_start: usize,
+    body_end: usize,
+    params: &[String],
+    summaries: &Summaries,
+    self_ty: Option<&str>,
+) -> Option<Dim> {
+    let mut env = Env::new();
+    for p in params {
+        if let Some(d) = Dim::of_ident(p) {
+            env.insert(p.clone(), Fact::local(d));
+        }
+    }
+    let mut found: Option<Dim> = None;
+    let mut agree = true;
+    let mut observe = |fact: Option<Fact>| {
+        if let Some(f) = fact {
+            match found {
+                None => found = Some(f.dim),
+                Some(d) if d == f.dim => {}
+                Some(_) => agree = false,
+            }
+        }
+    };
+    for line_no in body_start..=body_end {
+        let Some(line) = file.lines.get(line_no - 1) else {
+            continue;
+        };
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim();
+        if let Some(expr) = code.strip_prefix("return ") {
+            observe(expr_fact(
+                expr.trim_end_matches(';'),
+                &env,
+                summaries,
+                self_ty,
+            ));
+        } else if line_no < body_end && is_tail_expr(file, line_no, body_end) {
+            observe(expr_fact(code, &env, summaries, self_ty));
+        }
+        bind_let_quiet(&line.code, &mut env, summaries, self_ty);
+    }
+    // Single-line `fn f() -> u64 { expr }` bodies.
+    if body_start == body_end {
+        if let Some(line) = file.lines.get(body_start - 1) {
+            if let (Some(open), Some(close)) = (line.code.find('{'), line.code.rfind('}')) {
+                if close > open {
+                    observe(expr_fact(
+                        line.code[open + 1..close].trim(),
+                        &env,
+                        summaries,
+                        self_ty,
+                    ));
+                }
+            }
+        }
+    }
+    if agree {
+        found
+    } else {
+        None
+    }
+}
+
+/// Is `line_no` the body's tail expression line — the last non-blank
+/// code line before the closing brace, not itself statement-terminated?
+fn is_tail_expr(file: &SourceFile, line_no: usize, body_end: usize) -> bool {
+    let code = match file.lines.get(line_no - 1) {
+        Some(l) => l.code.trim(),
+        None => return false,
+    };
+    if code.is_empty() || code.ends_with([';', '{', '}']) || code.ends_with(',') {
+        return false;
+    }
+    // No later code before the `}` line.
+    ((line_no + 1)..body_end).all(|n| {
+        file.lines
+            .get(n - 1)
+            .map(|l| l.code.trim().is_empty())
+            .unwrap_or(true)
+    })
+}
+
+/// The single unambiguous dimension fact of an expression, resolving
+/// call returns through the summaries. `None` on rescaling (`*`, `/`)
+/// or conflicting facts.
+fn expr_fact(expr: &str, env: &Env, summaries: &Summaries, self_ty: Option<&str>) -> Option<Fact> {
+    if units::has_rescaling(expr) {
+        return None;
+    }
+    let bytes = expr.as_bytes();
+    let mut found: Option<Fact> = None;
+    let mut merge = |f: Fact| -> bool {
+        match found {
+            None => {
+                found = Some(f);
+                true
+            }
+            Some(prev) if prev.dim == f.dim => {
+                if f.interproc {
+                    found = Some(f);
+                }
+                true
+            }
+            Some(_) => false,
+        }
+    };
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            let name = &expr[start..i];
+            let called = bytes.get(i) == Some(&b'(');
+            let prev = bytes[..start].last().copied();
+            let fact = if called {
+                if let Some(u) = Unit::of_accessor(name) {
+                    Some(Fact::local(Dim::Time(u)))
+                } else {
+                    let method = prev == Some(b'.');
+                    let qualifier = (prev == Some(b':') && start >= 2 && bytes[start - 2] == b':')
+                        .then(|| ident_before(expr, start.saturating_sub(2)))
+                        .filter(|q| !q.is_empty());
+                    let on_self = method && ident_before(expr, start - 1) == "self";
+                    summaries
+                        .ret_of(name, qualifier, method, on_self, self_ty)
+                        .map(|dim| Fact {
+                            dim,
+                            interproc: true,
+                        })
+                }
+            } else if prev == Some(b'.') {
+                Dim::of_ident(name).map(Fact::local) // `self.deadline_us`
+            } else {
+                Dim::of_ident(name)
+                    .map(Fact::local)
+                    .or_else(|| env.get(name).copied())
+            };
+            if let Some(f) = fact {
+                if !merge(f) {
+                    return None;
+                }
+            }
+        } else {
+            i += 1;
+        }
+    }
+    found
+}
+
+/// The identifier ending at byte `end` (exclusive).
+fn ident_before(code: &str, end: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    &code[start..end]
+}
+
+/// The operand right of byte `pos`, extended over a call's argument
+/// list (`gap(3)`, `self.deadline_us()`), unlike the accessor-only
+/// variant in [`units`].
+fn operand_span_after(code: &str, pos: usize) -> &str {
+    let base = units::operand_after(code, pos);
+    let off = base.as_ptr() as usize - code.as_ptr() as usize;
+    let end = off + base.len();
+    if code[end..].starts_with('(') {
+        if let Some(close) = units::matching_paren(code, end) {
+            return &code[off..=close];
+        }
+    }
+    base
+}
+
+/// The operand left of byte `pos`, extended over a trailing call.
+fn operand_span_before(code: &str, pos: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut end = pos;
+    while end > 0 && bytes[end - 1] == b' ' {
+        end -= 1;
+    }
+    if end > 0 && bytes[end - 1] == b')' {
+        let mut depth = 0i64;
+        let mut i = end;
+        while i > 0 {
+            i -= 1;
+            match bytes[i] {
+                b')' => depth += 1,
+                b'(' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if depth != 0 {
+            return "";
+        }
+        let mut start = i;
+        while start > 0
+            && (bytes[start - 1].is_ascii_alphanumeric()
+                || bytes[start - 1] == b'_'
+                || bytes[start - 1] == b'.')
+        {
+            start -= 1;
+        }
+        if start == i {
+            return ""; // bare parenthesised group, not a call
+        }
+        return &code[start..end];
+    }
+    units::operand_before(code, end)
+}
+
+/// Dimension fact of one additive/comparison operand.
+fn operand_fact(
+    operand: &str,
+    env: &Env,
+    summaries: &Summaries,
+    self_ty: Option<&str>,
+) -> Option<Fact> {
+    let operand = operand.trim();
+    if operand.is_empty() || operand.starts_with(|c: char| c.is_ascii_digit()) {
+        return None;
+    }
+    if operand.contains('(') && operand.ends_with(')') {
+        return expr_fact(operand, env, summaries, self_ty);
+    }
+    let last = operand.rsplit('.').next().unwrap_or(operand);
+    if !last.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Dim::of_ident(last).map(Fact::local).or_else(|| {
+        if operand.contains('.') {
+            None // field of another struct — suffix only
+        } else {
+            env.get(operand).copied()
+        }
+    })
+}
+
+/// Should a mismatch between `l` and `r` be reported *here* rather than
+/// by the intra-procedural family? Yes when a call boundary was crossed
+/// or the dimensions differ in kind, not just scale.
+fn ours(l: Fact, r: Fact) -> bool {
+    l.interproc || r.interproc || !(l.dim.is_time() && r.dim.is_time())
+}
+
+/// The per-fn walk context: everything the line checks need besides the
+/// line itself and the evolving environment.
+struct Checker<'a> {
+    summaries: &'a Summaries,
+    old_covered: &'a BTreeSet<String>,
+    self_ty: Option<&'a str>,
+    file: &'a str,
+    /// Name of the function under scrutiny.
+    fn_name: &'a str,
+    /// Dimension promised by the function's own name suffix, if any.
+    ret_decl: Option<Dim>,
+}
+
+impl Checker<'_> {
+    /// Flag additive arithmetic and ordering comparisons whose operands
+    /// carry different dimensions, when the knowledge is
+    /// interprocedural.
+    fn check_additive(&self, code: &str, env: &Env, line_no: usize, out: &mut Vec<Finding>) {
+        let (summaries, self_ty, file) = (self.summaries, self.self_ty, self.file);
+        let bytes = code.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            let op: &str = match b {
+                b'+' | b'-' => {
+                    if bytes.get(i + 1) == Some(&b'>') {
+                        continue;
+                    }
+                    if b == b'+' {
+                        "+"
+                    } else {
+                        "-"
+                    }
+                }
+                b'<' | b'>' => {
+                    let spaced = i > 0
+                        && bytes[i - 1] == b' '
+                        && matches!(bytes.get(i + 1), Some(&b' ') | Some(&b'='));
+                    if !spaced {
+                        continue;
+                    }
+                    if b == b'<' {
+                        "<"
+                    } else {
+                        ">"
+                    }
+                }
+                _ => continue,
+            };
+            let skip = usize::from(bytes.get(i + 1) == Some(&b'='));
+            let left = operand_span_before(code, i);
+            let right = operand_span_after(code, i + 1 + skip);
+            let (Some(lf), Some(rf)) = (
+                operand_fact(left, env, summaries, self_ty),
+                operand_fact(right, env, summaries, self_ty),
+            ) else {
+                continue;
+            };
+            if lf.dim != rf.dim && ours(lf, rf) {
+                out.push(Finding {
+                    rule: Rule::UnitFlowInterproc,
+                    file: file.to_owned(),
+                    line: line_no,
+                    token: format!("{}{op}{}", lf.dim.label(), rf.dim.label()),
+                    message: format!(
+                        "mixed dimensions across a call boundary: `{left}` is {} but \
+                     `{right}` is {} — rescale explicitly at the boundary",
+                        lf.dim.label(),
+                        rf.dim.label()
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Check call arguments against graph-resolved callee parameter
+    /// dimensions (methods, qualified paths, and interprocedurally-
+    /// derived argument facts — everything the bare-name pass cannot
+    /// see).
+    fn check_calls(&self, code: &str, env: &Env, line_no: usize, out: &mut Vec<Finding>) {
+        let (summaries, old_covered, self_ty, file) =
+            (self.summaries, self.old_covered, self.self_ty, self.file);
+        for site in call_sites(code) {
+            if site.method && STD_COLLIDING_METHODS.contains(&site.name) {
+                continue;
+            }
+            let cands = summaries.candidates(
+                site.name,
+                site.qualifier,
+                site.method,
+                site.on_self,
+                self_ty,
+            );
+            let Some(first) = cands.first() else { continue };
+            // Every candidate must agree on the parameter dimensions, or
+            // the resolution is too weak to judge.
+            if !cands.iter().all(|c| c.param_dims == first.param_dims) {
+                continue;
+            }
+            let param_dims = &first.param_dims;
+            if param_dims.iter().all(Option::is_none) {
+                continue;
+            }
+            let Some(call_pos) = code.find(&format!("{}(", site.name)) else {
+                continue;
+            };
+            let open = call_pos + site.name.len();
+            let Some(close) = units::matching_paren(code, open) else {
+                continue;
+            };
+            let args = split_args(&code[open + 1..close]);
+            if args.len() != param_dims.len() {
+                continue; // multi-line call or arity mismatch
+            }
+            for (arg, want) in args.iter().zip(param_dims) {
+                let Some(want) = want else { continue };
+                let arg = arg.trim();
+                let plain_call = arg.ends_with("()");
+                if !plain_call
+                    && !arg
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+                {
+                    continue; // only plain identifiers/paths/nullary calls
+                }
+                let Some(got) = operand_fact(arg, env, summaries, self_ty) else {
+                    continue;
+                };
+                if got.dim == *want {
+                    continue;
+                }
+                // A local, time-on-time mismatch at a bare-name-unique
+                // callee is the intra-procedural family's finding.
+                if !got.interproc
+                    && got.dim.is_time()
+                    && want.is_time()
+                    && !site.method
+                    && site.qualifier.is_none()
+                    && old_covered.contains(site.name)
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: Rule::UnitFlowInterproc,
+                    file: file.to_owned(),
+                    line: line_no,
+                    token: format!("call:{}", site.name),
+                    message: format!(
+                        "`{arg}` carries {} but `{}` expects {} here (resolved through \
+                     the call graph)",
+                        got.dim.label(),
+                        site.name,
+                        want.label()
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Flag a `return expr;` whose dimension contradicts the fn's own
+    /// name suffix.
+    fn check_return(
+        &self,
+        code: &str,
+        env: &Env,
+        line_no: usize,
+        is_tail: bool,
+        out: &mut Vec<Finding>,
+    ) {
+        let (summaries, self_ty, file, fn_name) =
+            (self.summaries, self.self_ty, self.file, self.fn_name);
+        let Some(want) = self.ret_decl else { return };
+        let trimmed = code.trim();
+        let expr = if let Some(rest) = trimmed.strip_prefix("return ") {
+            rest.trim_end_matches(';')
+        } else if is_tail
+            && !trimmed.is_empty()
+            && !trimmed.ends_with([';', ',', '{', '}'])
+            && !trimmed.contains("=>")
+        {
+            trimmed
+        } else {
+            return;
+        };
+        let Some(got) = expr_fact(expr, env, summaries, self_ty) else {
+            return;
+        };
+        if got.dim != want {
+            out.push(Finding {
+                rule: Rule::UnitFlowInterproc,
+                file: file.to_owned(),
+                line: line_no,
+                token: format!("ret:{fn_name}"),
+                message: format!(
+                    "`{fn_name}` promises {} by its suffix but returns a {} value",
+                    want.label(),
+                    got.dim.label()
+                ),
+            });
+        }
+    }
+
+    /// `let [mut] name = expr;` — bind `name`'s dimension, and flag a
+    /// suffix that contradicts an interprocedurally-derived
+    /// initialiser.
+    fn bind_let(&self, code: &str, env: &mut Env, line_no: usize, out: &mut Vec<Finding>) {
+        let (summaries, self_ty, file) = (self.summaries, self.self_ty, self.file);
+        let Some((name, init)) = split_let(code) else {
+            return;
+        };
+        let declared = Dim::of_ident(name);
+        let inferred = expr_fact(init, env, summaries, self_ty);
+        match (declared, inferred) {
+            (Some(want), Some(got)) if got.interproc && got.dim != want => {
+                out.push(Finding {
+                    rule: Rule::UnitFlowInterproc,
+                    file: file.to_owned(),
+                    line: line_no,
+                    token: format!("let:{name}"),
+                    message: format!(
+                        "`{name}` claims {} by its suffix but its initialiser produces \
+                     {} through a call",
+                        want.label(),
+                        got.dim.label()
+                    ),
+                });
+                env.insert(name.to_owned(), Fact::local(want));
+            }
+            (Some(want), _) => {
+                env.insert(name.to_owned(), Fact::local(want));
+            }
+            (None, Some(got)) => {
+                env.insert(name.to_owned(), got);
+            }
+            (None, None) => {}
+        }
+    }
+}
+
+/// `bind_let` without findings, for the return-inference fixpoint.
+fn bind_let_quiet(code: &str, env: &mut Env, summaries: &Summaries, self_ty: Option<&str>) {
+    let Some((name, init)) = split_let(code) else {
+        return;
+    };
+    if let Some(d) = Dim::of_ident(name) {
+        env.insert(name.to_owned(), Fact::local(d));
+    } else if let Some(f) = expr_fact(init, env, summaries, self_ty) {
+        env.insert(name.to_owned(), f);
+    }
+}
+
+/// Split a plain `let [mut] name = init;` line; patterns are skipped.
+fn split_let(code: &str) -> Option<(&str, &str)> {
+    let pos = find_word(code, "let")?;
+    let rest = code[pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    let name = &rest[..end];
+    let after = rest[end..].trim_start();
+    let init = if let Some(eq) = after.strip_prefix('=') {
+        if eq.starts_with('=') {
+            return None; // `==`
+        }
+        eq
+    } else if after.starts_with(':') {
+        match after.split_once('=') {
+            Some((_, init)) => init,
+            None => return None,
+        }
+    } else {
+        return None;
+    };
+    Some((name, init.trim().trim_end_matches(';')))
+}
+
+/// Word-boundary find.
+fn find_word(code: &str, word: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(rel) = code[search..].find(word) {
+        let pos = search + rel;
+        let before_ok =
+            pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+        let after = pos + word.len();
+        let after_ok =
+            after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        search = pos + word.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::scan::preprocess;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(path, src)| SourceFile {
+                rel_path: (*path).to_owned(),
+                crate_name: path.split('/').nth(1).unwrap_or("ff-sim").to_owned(),
+                kind: FileKind::Lib,
+                lines: preprocess(src),
+            })
+            .collect();
+        let trees = items::build(&sources);
+        analyze(&sources, &trees)
+    }
+
+    fn tokens(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.token.as_str()).collect()
+    }
+
+    #[test]
+    fn return_dim_flows_into_arithmetic() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn beacon_interval_ms() -> u64 {\n    100\n}\n\
+             pub fn next_wake(now_us: u64) -> u64 {\n    let gap = beacon_interval_ms();\n    now_us + gap\n}\n",
+        )]);
+        assert_eq!(tokens(&f), ["us+ms"], "{f:?}");
+    }
+
+    #[test]
+    fn return_dim_flows_into_call_arguments() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn last_beacon_ms() -> u64 {\n    7\n}\n\
+             pub fn push_us(ts_us: u64) {\n    let _ = ts_us;\n}\n\
+             pub fn flush() {\n    let stamp = last_beacon_ms();\n    push_us(stamp);\n}\n",
+        )]);
+        assert_eq!(tokens(&f), ["call:push_us"], "{f:?}");
+    }
+
+    #[test]
+    fn inferred_tail_return_propagates() {
+        // `gap()` has no suffix; its tail expression is `_ms`-typed, so
+        // the fixpoint still recovers the dimension.
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "fn gap(step_ms: u64) -> u64 {\n    step_ms\n}\n\
+             pub fn f(now_us: u64) -> u64 {\n    now_us + gap(3)\n}\n",
+        )]);
+        assert_eq!(tokens(&f), ["us+ms"], "{f:?}");
+    }
+
+    #[test]
+    fn suffixed_let_contradicting_call_is_flagged() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn deadline_us() -> u64 {\n    9\n}\n\
+             pub fn f() {\n    let wake_ms = deadline_us();\n    let _ = wake_ms;\n}\n",
+        )]);
+        assert_eq!(tokens(&f), ["let:wake_ms"], "{f:?}");
+    }
+
+    #[test]
+    fn cross_dimension_suffixes_are_ours() {
+        // joules vs time is invisible to the time-only pass.
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn f(total_j: f64, t_us: f64) -> f64 {\n    total_j + t_us\n}\n",
+        )]);
+        assert_eq!(tokens(&f), ["j+us"], "{f:?}");
+    }
+
+    #[test]
+    fn local_time_mismatches_stay_in_the_old_family() {
+        // `start_us + budget_s` is the intra-procedural pass's finding;
+        // this family must stay silent to avoid double reports.
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn f(start_us: u64, budget_s: u64) -> u64 {\n    start_us + budget_s\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn method_calls_resolve_through_the_owner_type() {
+        let f = run(&[
+            (
+                "crates/ff-device/src/a.rs",
+                "pub struct Meter;\n\
+                 impl Meter {\n    pub fn push_us(&mut self, ts_us: u64) {\n        let _ = ts_us;\n    }\n}\n",
+            ),
+            (
+                "crates/ff-sim/src/b.rs",
+                "pub fn last_beacon_ms() -> u64 {\n    5\n}\n\
+                 pub fn flush(m: &mut Meter) {\n    let stamp = last_beacon_ms();\n    m.push_us(stamp);\n}\n",
+            ),
+        ]);
+        assert_eq!(tokens(&f), ["call:push_us"], "{f:?}");
+    }
+
+    #[test]
+    fn rescaling_clears_the_flow() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn beacon_interval_ms() -> u64 {\n    100\n}\n\
+             pub fn next_wake(now_us: u64) -> u64 {\n    let gap_us = beacon_interval_ms() * 1_000;\n    now_us + gap_us\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn return_contradicting_suffix_is_flagged() {
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub fn window_ms(limit_s: u64) -> u64 {\n    return limit_s;\n}\n",
+        )]);
+        assert_eq!(tokens(&f), ["ret:window_ms"], "{f:?}");
+    }
+
+    #[test]
+    fn ambiguous_methods_are_not_judged() {
+        // Two `record` methods with different param dims — resolution is
+        // too weak, so no finding either way.
+        let f = run(&[(
+            "crates/ff-sim/src/a.rs",
+            "pub struct A;\nimpl A {\n    pub fn record(&self, t_us: u64) {\n        let _ = t_us;\n    }\n}\n\
+             pub struct B;\nimpl B {\n    pub fn record(&self, t_ms: u64) {\n        let _ = t_ms;\n    }\n}\n\
+             pub fn f(b: &B, x_s: u64) {\n    b.record(x_s);\n}\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -175,6 +175,7 @@ fn parse_file(file: &SourceFile) -> ItemTree {
     for (idx, line) in file.lines.iter().enumerate() {
         let line_no = idx + 1;
         let code = line.code.as_str();
+        let depth_at_start = depth;
 
         // Split the line at the declaration start so braces before it
         // (e.g. a closing `}` sharing the line) update depth first.
@@ -233,9 +234,12 @@ fn parse_file(file: &SourceFile) -> ItemTree {
         }
 
         // Enum variants: first token of body lines one level inside.
+        // Depth is taken at line *start* so a struct variant whose `{…}`
+        // spans lines (`DeviceState {` … `},`) still counts — by line
+        // end its own brace has already deepened `depth`.
         if pending.is_none() {
             if let Some(o) = open.last() {
-                if items[o.arena_idx].kind == ItemKind::Enum && depth == o.depth {
+                if items[o.arena_idx].kind == ItemKind::Enum && depth_at_start == o.depth {
                     if let Some(v) = leading_ident(code) {
                         if items[o.arena_idx].body_start < line_no {
                             items[o.arena_idx].variants.push(v.to_owned());

@@ -37,12 +37,32 @@
 //!    through let-bindings and call sites; mixed-unit arithmetic and
 //!    mismatched call arguments are findings.
 //!
+//! A second semantic wave ([`dataflow`], [`consts`], [`coverage`]) makes
+//! the audit *interprocedural*:
+//!
+//! 10. **unit-flow-interproc** — unit (and joule/byte) facts propagated
+//!     *across* function boundaries through call-graph-resolved return
+//!     and parameter summaries; catches the `_ms` value produced two
+//!     crates away and fed to a `_us` parameter.
+//! 11. **const-provenance** — every Table 1/Table 2 physical constant
+//!     has one home, `ff-device::consts`; a matching numeric literal
+//!     anywhere else in the simulation crates is a shadowed constant,
+//!     and the registry itself is cross-checked against the pinned
+//!     values.
+//! 12. **event-coverage** — every reachable device-state transition must
+//!     be metered (`dwell`/`transition`) where it commits, the pinned
+//!     meter event names must exist, and `ff-sim` must still drain and
+//!     re-emit them as `DeviceTransition` record events.
+//!
 //! Findings ratchet against a committed [`baseline`]: the run fails only
 //! on findings the baseline does not accept, so existing debt is
 //! tracked without blocking the build, while regressions are.
 
 pub mod baseline;
 pub mod callgraph;
+pub mod consts;
+pub mod coverage;
+pub mod dataflow;
 pub mod fsm;
 pub mod items;
 pub mod rules;
@@ -266,6 +286,9 @@ pub fn analyze(root: &Path) -> Result<Analysis> {
     let (fsm_tables, fsm_findings) = fsm::analyze(&sources, &trees);
     findings.extend(fsm_findings);
     findings.extend(units::analyze(&sources, &trees));
+    findings.extend(dataflow::analyze(&sources, &trees));
+    findings.extend(consts::analyze(&sources));
+    findings.extend(coverage::analyze(&sources, &trees, &fsm_tables));
     findings.sort_by(|a, b| {
         (a.rule, &a.file, a.line, &a.token).cmp(&(b.rule, &b.file, b.line, &b.token))
     });

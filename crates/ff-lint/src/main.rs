@@ -1,21 +1,22 @@
 //! `ff-lint` CLI.
 //!
 //! ```text
-//! cargo run -p ff-lint -- [--json] [--github] [--root PATH] [--baseline PATH]
-//!                         [--update-baseline] [--forbid-stale]
+//! cargo run -p ff-lint -- [--json] [--github] [--families] [--root PATH]
+//!                         [--baseline PATH] [--update-baseline] [--forbid-stale]
 //! ```
 //!
 //! Exit codes: `0` clean (no findings beyond the baseline), `1` new
 //! findings (or, under `--forbid-stale`, a stale baseline), `2` usage
 //! or I/O error.
 
-use ff_lint::{default_baseline_path, default_root, Baseline};
+use ff_lint::{default_baseline_path, default_root, Baseline, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     json: bool,
     github: bool,
+    families: bool,
     root: PathBuf,
     baseline: Option<PathBuf>,
     update_baseline: bool,
@@ -26,6 +27,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
         github: false,
+        families: false,
         root: default_root(),
         baseline: None,
         update_baseline: false,
@@ -36,6 +38,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--json" => args.json = true,
             "--github" => args.github = true,
+            "--families" => args.families = true,
             "--update-baseline" => args.update_baseline = true,
             "--forbid-stale" => args.forbid_stale = true,
             "--root" => {
@@ -59,13 +62,14 @@ const USAGE: &str = "\
 ff-lint: static analysis for the FlexFetch workspace
 
 USAGE:
-    ff-lint [--json] [--github] [--root PATH] [--baseline PATH]
+    ff-lint [--json] [--github] [--families] [--root PATH] [--baseline PATH]
             [--update-baseline] [--forbid-stale]
 
 OPTIONS:
     --json              emit the machine-readable JSON report on stdout
     --github            also emit GitHub Actions ::error annotations for
                         findings beyond the baseline
+    --families          list the rule-family ids and exit
     --root PATH         workspace root to scan (default: this workspace)
     --baseline PATH     ratchet file (default: crates/ff-lint/baseline.json)
     --update-baseline   rewrite the baseline to accept the current state
@@ -85,6 +89,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if args.families {
+        for rule in Rule::all() {
+            println!("{}", rule.as_str());
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let baseline_path = args
         .baseline

@@ -1,4 +1,4 @@
-//! The nine rule families.
+//! The twelve rule families.
 //!
 //! Every rule emits [`Finding`]s keyed by `(rule, file, token)`. Line
 //! numbers are reported for humans but are *not* part of the baseline
@@ -6,6 +6,7 @@
 //! an occurrence of a token to a file does.
 
 use crate::scan::{FileKind, SourceFile};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Rule family identifiers.
@@ -35,6 +36,18 @@ pub enum Rule {
     Fsm,
     /// Work-marker inventory and lint-suppression audit.
     Hygiene,
+    /// Unit facts propagated *across* function calls through the
+    /// workspace call graph: mismatched arguments, returns, and
+    /// joule/byte dimension mixing the intra-procedural pass misses.
+    UnitFlowInterproc,
+    /// Numeric literals that shadow a canonical Table 1/Table 2 constant
+    /// instead of citing `ff_device::consts`, and drift between that
+    /// module and the lint's pinned registry.
+    ConstProvenance,
+    /// Every reachable device-state transition must be visible to the
+    /// observability layer (a `StateMeter` record near the assignment,
+    /// drained into `record::Event` by the simulator).
+    EventCoverage,
 }
 
 impl Rule {
@@ -50,11 +63,14 @@ impl Rule {
             Rule::ModelInvariants => "model-invariants",
             Rule::Fsm => "fsm",
             Rule::Hygiene => "hygiene",
+            Rule::UnitFlowInterproc => "unit-flow-interproc",
+            Rule::ConstProvenance => "const-provenance",
+            Rule::EventCoverage => "event-coverage",
         }
     }
 
     /// All families, in report order.
-    pub fn all() -> [Rule; 9] {
+    pub fn all() -> [Rule; 12] {
         [
             Rule::Determinism,
             Rule::PanicSafety,
@@ -65,6 +81,9 @@ impl Rule {
             Rule::ModelInvariants,
             Rule::Fsm,
             Rule::Hygiene,
+            Rule::UnitFlowInterproc,
+            Rule::ConstProvenance,
+            Rule::EventCoverage,
         ]
     }
 
@@ -348,8 +367,11 @@ struct FieldLit {
 fn model_invariants(sources: &[SourceFile], out: &mut Vec<Finding>) {
     let disk_file = "crates/ff-device/src/disk.rs";
     let wnic_file = "crates/ff-device/src/wnic.rs";
-    let disk = parse_ctor(sources, disk_file, "fn hitachi_dk23da");
-    let wnic = parse_ctor(sources, wnic_file, "fn cisco_aironet350");
+    // The constructors cite `consts::NAME` rather than raw literals, so
+    // resolve named constants through the ff-device registry module.
+    let ctab = crate::consts::const_table(sources);
+    let disk = parse_ctor(sources, disk_file, "fn hitachi_dk23da", &ctab);
+    let wnic = parse_ctor(sources, wnic_file, "fn cisco_aironet350", &ctab);
 
     let Some(disk) = disk else {
         fail(
@@ -486,7 +508,7 @@ fn model_invariants(sources: &[SourceFile], out: &mut Vec<Finding>) {
                 continue;
             }
             for arg in call_args(&line.code, "from_mbit_per_sec(") {
-                if let Some(v) = parse_num(&arg) {
+                if let Some(v) = parse_num(&arg).or_else(|| resolve_const(&arg, &ctab)) {
                     if !allowed_rate(v) {
                         fail(
                             out,
@@ -541,9 +563,14 @@ fn require(out: &mut Vec<Finding>, file: &str, fields: &[FieldLit], name: &str) 
     }
 }
 
-/// Extract `field: Ctor(lit)` bindings from the body of the constructor
-/// starting at the line containing `marker` in `rel_path`.
-fn parse_ctor(sources: &[SourceFile], rel_path: &str, marker: &str) -> Option<Vec<FieldLit>> {
+/// Extract `field: Ctor(lit-or-const)` bindings from the body of the
+/// constructor starting at the line containing `marker` in `rel_path`.
+fn parse_ctor(
+    sources: &[SourceFile],
+    rel_path: &str,
+    marker: &str,
+    ctab: &BTreeMap<String, f64>,
+) -> Option<Vec<FieldLit>> {
     let file = sources.iter().find(|f| f.rel_path == rel_path)?;
     let start = file.lines.iter().position(|l| l.code.contains(marker))?;
     let mut fields = Vec::new();
@@ -560,7 +587,7 @@ fn parse_ctor(sources: &[SourceFile], rel_path: &str, marker: &str) -> Option<Ve
                 _ => {}
             }
         }
-        if let Some(f) = parse_field_line(&line.code, start + off + 1) {
+        if let Some(f) = parse_field_line(&line.code, start + off + 1, ctab) {
             fields.push(f);
         }
         if opened && depth <= 0 {
@@ -570,8 +597,18 @@ fn parse_ctor(sources: &[SourceFile], rel_path: &str, marker: &str) -> Option<Ve
     Some(fields)
 }
 
-/// Match `ident: Path::ctor(number)` on one (trimmed) line.
-fn parse_field_line(code: &str, line_no: usize) -> Option<FieldLit> {
+/// Resolve a `consts::NAME`-style argument through the extracted
+/// registry module; the lookup key is the last path segment.
+pub(crate) fn resolve_const(arg: &str, ctab: &BTreeMap<String, f64>) -> Option<f64> {
+    let last = arg.trim().rsplit("::").next()?.trim();
+    if last.is_empty() || !last.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    ctab.get(last).copied()
+}
+
+/// Match `ident: Path::ctor(number-or-const)` on one (trimmed) line.
+fn parse_field_line(code: &str, line_no: usize, ctab: &BTreeMap<String, f64>) -> Option<FieldLit> {
     let trimmed = code.trim().trim_end_matches(',');
     let (name, rest) = trimmed.split_once(':')?;
     let name = name.trim();
@@ -586,7 +623,7 @@ fn parse_field_line(code: &str, line_no: usize) -> Option<FieldLit> {
     }
     let ctor_path = &rest[..open];
     let arg = &rest[open + 1..close];
-    let value = parse_num(arg)?;
+    let value = parse_num(arg).or_else(|| resolve_const(arg, ctab))?;
     // Normalise durations to seconds via the constructor name.
     let last = ctor_path.rsplit("::").next().unwrap_or(ctor_path).trim();
     let first = ctor_path.split("::").next().unwrap_or(ctor_path).trim();
@@ -609,7 +646,7 @@ fn parse_field_line(code: &str, line_no: usize) -> Option<FieldLit> {
 }
 
 /// Parse a numeric literal, tolerating `_` separators and type suffixes.
-fn parse_num(s: &str) -> Option<f64> {
+pub(crate) fn parse_num(s: &str) -> Option<f64> {
     let cleaned: String = s
         .trim()
         .trim_end_matches("f64")
@@ -630,7 +667,7 @@ fn parse_num(s: &str) -> Option<f64> {
 }
 
 /// Literal first arguments of each `needle`-call on the line.
-fn call_args(code: &str, needle: &str) -> Vec<String> {
+pub(crate) fn call_args(code: &str, needle: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut search = 0;
     while let Some(rel) = code[search..].find(needle) {

@@ -39,7 +39,7 @@ pub enum Unit {
 }
 
 impl Unit {
-    fn label(self) -> &'static str {
+    pub(crate) fn label(self) -> &'static str {
         match self {
             Unit::Micros => "us",
             Unit::Millis => "ms",
@@ -48,7 +48,7 @@ impl Unit {
     }
 
     /// Unit implied by an identifier's suffix.
-    fn of_ident(name: &str) -> Option<Unit> {
+    pub(crate) fn of_ident(name: &str) -> Option<Unit> {
         for (suffix, unit) in [
             ("_us", Unit::Micros),
             ("_micros", Unit::Micros),
@@ -67,7 +67,7 @@ impl Unit {
     }
 
     /// Unit produced by a known accessor method.
-    fn of_accessor(name: &str) -> Option<Unit> {
+    pub(crate) fn of_accessor(name: &str) -> Option<Unit> {
         match name {
             "as_micros" => Some(Unit::Micros),
             "as_millis" => Some(Unit::Millis),
@@ -121,7 +121,7 @@ pub fn analyze(sources: &[SourceFile], trees: &[ItemTree]) -> Vec<Finding> {
 
 /// Callee parameter units: fn name → (param units, arity), kept only
 /// when the name resolves uniquely across the workspace.
-fn collect_params(
+pub(crate) fn collect_params(
     sources: &[SourceFile],
     trees: &[ItemTree],
 ) -> BTreeMap<String, Vec<Option<Unit>>> {
@@ -221,7 +221,7 @@ fn expr_unit(expr: &str, env: &Env) -> Option<Unit> {
 }
 
 /// Does the expression multiply or divide (i.e. legitimately rescale)?
-fn has_rescaling(expr: &str) -> bool {
+pub(crate) fn has_rescaling(expr: &str) -> bool {
     let bytes = expr.as_bytes();
     for (i, &b) in bytes.iter().enumerate() {
         match b {
@@ -421,7 +421,7 @@ fn operand_unit(operand: &str, env: &Env) -> Option<Unit> {
 
 /// The expression-ish operand left of byte `pos` (ident path, maybe an
 /// accessor call).
-fn operand_before(code: &str, pos: usize) -> &str {
+pub(crate) fn operand_before(code: &str, pos: usize) -> &str {
     let bytes = code.as_bytes();
     let mut end = pos;
     while end > 0 && bytes[end - 1] == b' ' {
@@ -443,7 +443,7 @@ fn operand_before(code: &str, pos: usize) -> &str {
 }
 
 /// The operand right of byte `pos`.
-fn operand_after(code: &str, pos: usize) -> &str {
+pub(crate) fn operand_after(code: &str, pos: usize) -> &str {
     let bytes = code.as_bytes();
     let mut start = pos;
     while start < bytes.len() && bytes[start] == b' ' {
@@ -482,7 +482,7 @@ fn find_word(code: &str, word: &str) -> Option<usize> {
 }
 
 /// The matching `)` for the `(` at byte `open`.
-fn matching_paren(code: &str, open: usize) -> Option<usize> {
+pub(crate) fn matching_paren(code: &str, open: usize) -> Option<usize> {
     let bytes = code.as_bytes();
     let mut depth = 0i64;
     for (i, &b) in bytes.iter().enumerate().skip(open) {

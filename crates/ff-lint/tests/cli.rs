@@ -46,6 +46,32 @@ fn json_flag_emits_parseable_json() {
 }
 
 #[test]
+fn json_report_is_byte_identical_across_runs() {
+    // The report is consumed by CI artifacts and diffed between runs,
+    // so it must be a pure function of the tree: no timestamps, no
+    // hash-map ordering, no absolute paths.
+    let first = ff_lint().arg("--json").output().expect("spawn");
+    let second = ff_lint().arg("--json").output().expect("spawn");
+    assert!(first.status.success() && second.status.success());
+    assert_eq!(
+        first.stdout, second.stdout,
+        "JSON report is not deterministic"
+    );
+}
+
+#[test]
+fn families_flag_lists_all_twelve_rule_ids() {
+    let out = ff_lint().arg("--families").output().expect("spawn");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let families: Vec<&str> = text.lines().collect();
+    assert_eq!(families.len(), 12, "families: {families:?}");
+    for id in ["unit-flow-interproc", "const-provenance", "event-coverage"] {
+        assert!(families.contains(&id), "missing {id} in {families:?}");
+    }
+}
+
+#[test]
 fn help_prints_usage_and_exits_zero() {
     let out = ff_lint().arg("--help").output().expect("spawn");
     assert!(out.status.success());

@@ -1,0 +1,8 @@
+//! Clean twin of `const_shadow_mutant.rs`: the same value cited through
+//! the registry. The provenance family must stay silent.
+
+use crate::consts;
+
+pub fn spindown_budget() -> Joules {
+    Joules(consts::DISK_SPINDOWN_ENERGY_J)
+}

@@ -1,0 +1,10 @@
+//! Mutation fixture (const-provenance): the DK23DA spin-down energy
+//! appears as a bare literal instead of citing `ff-device::consts`. The
+//! provenance family must name the shadowed constant. Scanned by
+//! ff-lint in tests (placed at
+//! `crates/ff-device/src/spindown_table.rs` of a synthetic tree that
+//! also carries the real registry), never compiled.
+
+pub fn spindown_budget() -> Joules {
+    Joules(2.94)
+}

@@ -1,0 +1,32 @@
+//! Clean twin of `coverage_mutant.rs`: both transitions are metered
+//! where they commit, so the event-coverage family must stay silent.
+
+pub enum GateState {
+    Open,
+    Shut,
+}
+
+pub struct Gate {
+    state: GateState,
+}
+
+impl Gate {
+    pub fn new() -> Self {
+        Gate {
+            state: GateState::Open,
+        }
+    }
+
+    fn advance(&mut self, elapsed: Dur) {
+        match self.state {
+            GateState::Open => {
+                self.meter.transition("gate_shut", self.params.shut_energy);
+                self.state = GateState::Shut;
+            }
+            GateState::Shut => {
+                self.meter.dwell("shut", self.params.shut_power, elapsed);
+                self.state = GateState::Open;
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Mutation fixture (event-coverage): the Open -> Shut transition
+//! commits a state change with no meter call anywhere near it, so the
+//! change is invisible to the observability layer. Scanned by ff-lint
+//! in tests (placed at `crates/ff-device/src/gate.rs` of a synthetic
+//! tree), never compiled.
+
+pub enum GateState {
+    Open,
+    Shut,
+}
+
+pub struct Gate {
+    state: GateState,
+}
+
+impl Gate {
+    pub fn new() -> Self {
+        Gate {
+            state: GateState::Open,
+        }
+    }
+
+    fn advance(&mut self, elapsed: Dur) {
+        match self.state {
+            GateState::Open => {
+                self.state = GateState::Shut;
+            }
+            GateState::Shut => {
+                self.meter.dwell("shut", self.params.shut_power, elapsed);
+                self.state = GateState::Open;
+            }
+        }
+    }
+}

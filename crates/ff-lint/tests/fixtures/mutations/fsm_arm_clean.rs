@@ -1,0 +1,59 @@
+//! Clean twin of `fsm_arm_mutant.rs`: the full Aironet 350 CAM/PSM
+//! cycle with every arm present. The FSM family must stay silent on
+//! this machine. Scanned by ff-lint in tests (placed at
+//! `crates/ff-device/src/wnic.rs` of a synthetic tree), never compiled.
+
+pub enum WnicState {
+    Cam,
+    ToPsm(SimTime),
+    Psm,
+    ToCam(SimTime),
+}
+
+impl WnicParams {
+    pub fn cisco_aironet350() -> Self {
+        WnicParams {
+            psm_idle: Watts(0.39),
+            cam_idle: Watts(1.41),
+            psm_timeout: Dur::from_millis(800),
+            bandwidth: BytesPerSec::from_mbit_per_sec(11.0),
+        }
+    }
+}
+
+pub struct WnicModel {
+    state: WnicState,
+}
+
+impl WnicModel {
+    pub fn new(params: WnicParams) -> Self {
+        WnicModel {
+            state: WnicState::Psm,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        match self.state {
+            WnicState::Cam => {
+                let deadline = self.idle_since + self.params.psm_timeout;
+                self.meter.transition(self.params.to_psm_energy);
+                self.state = WnicState::ToPsm(deadline);
+            }
+            WnicState::ToPsm(until) => {
+                self.state = WnicState::Psm;
+            }
+            WnicState::Psm => {
+                self.clock = now;
+            }
+            WnicState::ToCam(until) => {
+                self.state = WnicState::Cam;
+            }
+        }
+    }
+
+    fn service(&mut self, now: SimTime) {
+        if self.state == WnicState::Psm {
+            self.state = WnicState::ToCam(now);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Mutation fixture (fsm): the ToCam arm has been deleted from the
+//! CAM/PSM machine, so the wake-up path never completes. The FSM family
+//! must report the hole (non-exhaustive match, deadlocked ToCam,
+//! unreachable Cam). Scanned by ff-lint in tests (placed at
+//! `crates/ff-device/src/wnic.rs` of a synthetic tree), never compiled.
+
+pub enum WnicState {
+    Cam,
+    ToPsm(SimTime),
+    Psm,
+    ToCam(SimTime),
+}
+
+impl WnicParams {
+    pub fn cisco_aironet350() -> Self {
+        WnicParams {
+            psm_idle: Watts(0.39),
+            cam_idle: Watts(1.41),
+            psm_timeout: Dur::from_millis(800),
+            bandwidth: BytesPerSec::from_mbit_per_sec(11.0),
+        }
+    }
+}
+
+pub struct WnicModel {
+    state: WnicState,
+}
+
+impl WnicModel {
+    pub fn new(params: WnicParams) -> Self {
+        WnicModel {
+            state: WnicState::Psm,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        match self.state {
+            WnicState::Cam => {
+                let deadline = self.idle_since + self.params.psm_timeout;
+                self.meter.transition(self.params.to_psm_energy);
+                self.state = WnicState::ToPsm(deadline);
+            }
+            WnicState::ToPsm(until) => {
+                self.state = WnicState::Psm;
+            }
+            WnicState::Psm => {
+                self.clock = now;
+            }
+        }
+    }
+
+    fn service(&mut self, now: SimTime) {
+        if self.state == WnicState::Psm {
+            self.state = WnicState::ToCam(now);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Clean twin of `unit_flow_mutant.rs`: the millisecond value is
+//! rescaled explicitly at the boundary, so the dimension flow is
+//! consistent and every unit family must stay silent.
+
+pub fn beacon_gap_ms() -> u64 {
+    100
+}
+
+pub fn arm_timer_us(deadline_us: u64) -> u64 {
+    deadline_us
+}
+
+pub fn schedule_wakeup() -> u64 {
+    let wake_us = beacon_gap_ms() * 1_000;
+    arm_timer_us(wake_us)
+}

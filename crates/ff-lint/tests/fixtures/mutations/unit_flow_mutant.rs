@@ -1,0 +1,20 @@
+//! Mutation fixture (unit-flow-interproc): a millisecond quantity
+//! produced behind a call boundary is handed to a microsecond parameter
+//! unchanged. No identifier at the call site spells a unit, so the
+//! intra-procedural pass cannot see it — only the interprocedural
+//! summaries can. Scanned by ff-lint in tests (placed at
+//! `crates/ff-policy/src/prefetch_window.rs` of a synthetic tree),
+//! never compiled.
+
+pub fn beacon_gap_ms() -> u64 {
+    100
+}
+
+pub fn arm_timer_us(deadline_us: u64) -> u64 {
+    deadline_us
+}
+
+pub fn schedule_wakeup() -> u64 {
+    let wake = beacon_gap_ms();
+    arm_timer_us(wake)
+}

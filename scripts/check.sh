@@ -4,21 +4,41 @@
 # This is the same sequence CI (and the tier-1 acceptance check) runs;
 # a clean `./scripts/check.sh` means the tree is mergeable.
 #
+# Every step runs even when an earlier one fails: statuses are collected
+# explicitly and the script exits non-zero if ANY step failed, naming
+# the failures in a summary. (`set -e` alone is not enough here — the
+# one-shot goal is to see every broken gate, and an `if !`-guarded or
+# trailing-`||` step would silently swallow its status.)
+#
 # The lint step writes its JSON report to results/lint-report.json so CI
 # can upload it as an artifact, and runs with --forbid-stale so a
 # baseline listing already-fixed debt fails the gate instead of rotting.
 # On failure it re-runs in human-readable mode — in GitHub Actions (or
 # with FF_LINT_GITHUB=1) that re-run also emits ::error annotations that
 # render inline on the PR diff.
-set -euo pipefail
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
+failed_steps=()
 
-echo "==> ff-lint (ratchet vs crates/ff-lint/baseline.json)"
-mkdir -p results
-if ! cargo run -q -p ff-lint -- --json --forbid-stale > results/lint-report.json; then
+# run_step <label> <cmd...> — run a step, record its status.
+run_step() {
+    local label="$1"
+    shift
+    echo "==> ${label}"
+    if ! "$@"; then
+        echo "==> ${label} FAILED"
+        failed_steps+=("${label}")
+        return 1
+    fi
+}
+
+lint_step() {
+    mkdir -p results
+    if cargo run -q -p ff-lint -- --json --forbid-stale > results/lint-report.json; then
+        echo "    report: results/lint-report.json"
+        return 0
+    fi
     echo "==> ff-lint FAILED — human-readable report follows"
     rerun_args=()
     if [[ "${GITHUB_ACTIONS:-}" == "true" || "${FF_LINT_GITHUB:-}" == "1" ]]; then
@@ -29,17 +49,24 @@ if ! cargo run -q -p ff-lint -- --json --forbid-stale > results/lint-report.json
     echo "       see results/lint-report.json, and run" >&2
     echo "       'cargo run -p ff-lint -- --update-baseline' only for" >&2
     echo "       debt you are deliberately accepting." >&2
+    return 1
+}
+
+doc_step() {
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+}
+
+run_step "cargo fmt --all --check" cargo fmt --all --check
+run_step "ff-lint (ratchet vs crates/ff-lint/baseline.json)" lint_step
+run_step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)" doc_step
+run_step "cargo build --release" cargo build --release
+run_step "cargo test -q" cargo test -q
+
+if (( ${#failed_steps[@]} > 0 )); then
+    echo "==> ${#failed_steps[@]} check(s) FAILED:" >&2
+    for step in "${failed_steps[@]}"; do
+        echo "    - ${step}" >&2
+    done
     exit 1
 fi
-echo "    report: results/lint-report.json"
-
-echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
-
-echo "==> cargo build --release"
-cargo build --release
-
-echo "==> cargo test -q"
-cargo test -q
-
 echo "==> all checks passed"

@@ -88,6 +88,30 @@ fn fsm_family_is_pinned_at_zero() {
 }
 
 #[test]
+fn semantic_families_are_pinned_at_zero() {
+    // The second semantic wave — interprocedural unit flow, constant
+    // provenance, event coverage — started life with no accepted debt,
+    // and this gate keeps it that way: empty in the baseline AND empty
+    // in the tree, so any regression fails tier-1 rather than ratcheting.
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    let (findings, _) = ff_lint::collect_findings(&root).expect("scan succeeds");
+    for rule in [
+        Rule::UnitFlowInterproc,
+        Rule::ConstProvenance,
+        Rule::EventCoverage,
+    ] {
+        assert!(
+            baseline.is_empty_for(rule),
+            "the {} family must have an empty baseline",
+            rule.as_str()
+        );
+        let hits: Vec<_> = findings.iter().filter(|f| f.rule == rule).collect();
+        assert!(hits.is_empty(), "{} findings: {hits:?}", rule.as_str());
+    }
+}
+
+#[test]
 fn device_fsm_tables_are_extracted_from_the_workspace() {
     let root = workspace_root();
     let analysis = ff_lint::analyze(&root).expect("scan succeeds");
