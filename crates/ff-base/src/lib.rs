@@ -78,6 +78,12 @@ pub enum Error {
     Config(String),
     /// Underlying I/O error converted to a string (keeps `Error: Eq`).
     Io(String),
+    /// A fault-injection plan was rejected (zero-length outage,
+    /// non-finite bandwidth, empty disk storm, …).
+    Fault(String),
+    /// An internal engine failure that is not the caller's fault
+    /// (e.g. a sweep worker thread panicked).
+    Internal(String),
 }
 
 impl std::fmt::Display for Error {
@@ -93,6 +99,8 @@ impl std::fmt::Display for Error {
             }
             Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::Fault(msg) => write!(f, "invalid fault plan: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }

@@ -23,23 +23,23 @@ fn run(scenario: &Scenario, kind: PolicyKind) -> f64 {
 fn bench_figures(c: &mut Criterion) {
     let mut g = c.benchmark_group("figures");
     g.sample_size(10);
-    let fig1 = Scenario::grep_make(42);
+    let fig1 = Scenario::grep_make(42).unwrap();
     g.bench_function("fig1_grep_make_flexfetch", |b| {
         b.iter(|| black_box(run(&fig1, PolicyKind::flexfetch(fig1.profile.clone()))))
     });
-    let fig2 = Scenario::mplayer(42);
+    let fig2 = Scenario::mplayer(42).unwrap();
     g.bench_function("fig2_mplayer_flexfetch", |b| {
         b.iter(|| black_box(run(&fig2, PolicyKind::flexfetch(fig2.profile.clone()))))
     });
-    let fig3 = Scenario::thunderbird(42);
+    let fig3 = Scenario::thunderbird(42).unwrap();
     g.bench_function("fig3_thunderbird_flexfetch", |b| {
         b.iter(|| black_box(run(&fig3, PolicyKind::flexfetch(fig3.profile.clone()))))
     });
-    let fig4 = Scenario::grep_make_xmms(42);
+    let fig4 = Scenario::grep_make_xmms(42).unwrap();
     g.bench_function("fig4_forced_spinup_flexfetch", |b| {
         b.iter(|| black_box(run(&fig4, PolicyKind::flexfetch(fig4.profile.clone()))))
     });
-    let fig5 = Scenario::acroread_invalid(42);
+    let fig5 = Scenario::acroread_invalid(42).unwrap();
     g.bench_function("fig5_invalid_profile_flexfetch", |b| {
         b.iter(|| black_box(run(&fig5, PolicyKind::flexfetch(fig5.profile.clone()))))
     });

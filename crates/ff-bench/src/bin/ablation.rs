@@ -24,7 +24,7 @@ fn run_flexfetch(scenario: &Scenario, cfg: SimConfig, pcfg: FlexFetchConfig) -> 
 }
 
 fn main() {
-    let s = Scenario::grep_make(42);
+    let s = Scenario::grep_make(42).expect("scenario builds");
     println!("ablations on grep+make (seed 42); defaults marked *\n");
 
     println!("== loss rate (§2.2 rule 3; default 0.25) ==");

@@ -1,0 +1,105 @@
+//! `benchfaults` — the chaos matrix runner.
+//!
+//! Sweeps every named fault scenario over every policy for a set of
+//! workloads, runs the shared robustness oracle on each cell, verifies
+//! one cell replays to a byte-identical event log, and writes
+//! `bench/BENCH_faults.json` (schema documented in EXPERIMENTS.md).
+//! Exits non-zero if any cell violates an invariant or the replay
+//! diverges.
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin benchfaults \
+//!     [-- --seed 42 --out bench/BENCH_faults.json]
+//! ```
+
+use ff_base::json::Value;
+use ff_bench::faults::{cell_json, check_invariants, fault_run, FAULT_SCENARIOS};
+use ff_bench::observe::{build_workload, POLICIES};
+use std::path::PathBuf;
+
+/// The matrix's workload axis: the dense reader, the long sparse
+/// streamer, and the bursty searcher — the three fault-response shapes.
+const MATRIX_WORKLOADS: [&str; 3] = ["grep", "xmms", "thunderbird"];
+
+fn main() {
+    let mut seed: u64 = 42;
+    let mut out = PathBuf::from("bench/BENCH_faults.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--out" => out = PathBuf::from(args.next().expect("--out PATH")),
+            other => {
+                eprintln!("unknown flag {other}; usage: benchfaults [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cells = Vec::new();
+    let mut total_violations = 0usize;
+    println!(
+        "{:<13} {:<18} {:<15} {:>10} {:>7} {:>6} {:>6} {:>10}",
+        "workload", "policy", "scenario", "total_j", "faults", "retry", "fail", "violations"
+    );
+    for workload in MATRIX_WORKLOADS {
+        let trace = build_workload(workload, seed).expect("matrix workloads are fixed");
+        for policy in POLICIES {
+            for scenario in FAULT_SCENARIOS {
+                let run = fault_run(workload, policy, scenario, seed)
+                    .expect("matrix cells use validated names");
+                let violations = check_invariants(&trace, &run);
+                println!(
+                    "{:<13} {:<18} {:<15} {:>9.1}J {:>7} {:>6} {:>6} {:>10}",
+                    workload,
+                    run.report.policy,
+                    scenario,
+                    run.report.total_energy().get(),
+                    run.report.faults_injected,
+                    run.report.retries,
+                    run.report.failovers,
+                    violations.len()
+                );
+                for v in &violations {
+                    eprintln!("  VIOLATION [{workload}/{policy}/{scenario}]: {v}");
+                }
+                total_violations += violations.len();
+                cells.push(cell_json(workload, policy, scenario, &run, &violations));
+            }
+        }
+    }
+
+    // Determinism spot check: the densest cell must replay to a
+    // byte-identical event log.
+    let a = fault_run("grep", "flexfetch", "everything", seed).expect("replay cell");
+    let b = fault_run("grep", "flexfetch", "everything", seed).expect("replay cell");
+    let replay_identical = a.log.to_jsonl() == b.log.to_jsonl();
+    if !replay_identical {
+        eprintln!("VIOLATION: replay of grep/flexfetch/everything diverged");
+    }
+
+    let doc = Value::Object(vec![
+        ("bench".into(), Value::Str("faults".into())),
+        ("schema".into(), Value::UInt(1)),
+        ("seed".into(), Value::UInt(seed)),
+        (
+            "command".into(),
+            Value::Str("cargo run --release -p ff-bench --bin benchfaults".into()),
+        ),
+        ("replay_identical".into(), Value::Bool(replay_identical)),
+        (
+            "total_violations".into(),
+            Value::UInt(total_violations as u64),
+        ),
+        ("cells".into(), Value::Array(cells)),
+    ]);
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create bench dir");
+    }
+    std::fs::write(&out, format!("{}\n", doc.to_pretty())).expect("write BENCH_faults.json");
+    eprintln!("wrote {}", out.display());
+
+    if total_violations > 0 || !replay_identical {
+        std::process::exit(1);
+    }
+}

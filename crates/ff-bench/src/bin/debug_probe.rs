@@ -10,7 +10,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0);
-    let scenario = Scenario::grep_make(42);
+    let scenario = Scenario::grep_make(42).expect("scenario builds");
     for kind in standard_policies(&scenario) {
         let cfg =
             scenario.configure(SimConfig::default().with_wnic_latency(Dur::from_millis(lat_ms)));

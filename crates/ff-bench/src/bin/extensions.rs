@@ -80,7 +80,7 @@ fn flash_tier() {
 /// static variant keeps trusting its profile.
 fn mobility() {
     println!("== extension: mid-run bandwidth degradation (mplayer, 11->1 Mbps at t=120 s) ==");
-    let s = Scenario::mplayer(42);
+    let s = Scenario::mplayer(42).expect("scenario builds");
     let cfg = || {
         s.configure(SimConfig::default())
             .with_bandwidth_change(Dur::from_secs(120), 1.0)
@@ -108,7 +108,7 @@ fn mobility() {
 /// audit sees the measured disk traffic and keeps functioning.
 fn outage() {
     println!("== extension: 180 s wireless outage during grep+make (t=300..480 s) ==");
-    let s = Scenario::grep_make(42);
+    let s = Scenario::grep_make(42).expect("scenario builds");
     let cfg = || {
         s.configure(SimConfig::default())
             .with_wnic_outage(Dur::from_secs(300), Dur::from_secs(480))
@@ -140,7 +140,7 @@ fn outage() {
 fn hoarding_budget() {
     println!("== extension: energy vs hoard budget (thunderbird, FlexFetch) ==");
     println!("(files that do not fit the budget are only reachable over the WNIC)");
-    let s = Scenario::thunderbird(42);
+    let s = Scenario::thunderbird(42).expect("scenario builds");
     let total = s.trace.files.total_size();
     println!(
         "{:>10} {:>10} {:>10} {:>12} {:>12} {:>10}",
@@ -176,7 +176,7 @@ fn hoarding_budget() {
 
 fn write_sync() {
     println!("== extension: write-synchronisation overhead (grep+make) ==");
-    let s = Scenario::grep_make(42);
+    let s = Scenario::grep_make(42).expect("scenario builds");
     println!(
         "{:>12} {:>12} {:>12} {:>12}",
         "policy", "no sync", "sync", "overhead"

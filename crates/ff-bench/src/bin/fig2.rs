@@ -7,14 +7,14 @@ use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table, standard_
 use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
 
 fn main() {
-    let scenario = Scenario::mplayer(42);
+    let scenario = Scenario::mplayer(42).expect("scenario builds");
     let policies = standard_policies(&scenario);
 
-    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS).expect("sweep runs");
     print_table("Fig 2(a) mplayer: energy vs WNIC latency", "lat(ms)", &a);
     print_csv(&a);
 
-    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS).expect("sweep runs");
     print_table("Fig 2(b) mplayer: energy vs WNIC bandwidth", "bw(Mbps)", &b);
     print_csv(&b);
 }

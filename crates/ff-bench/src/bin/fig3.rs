@@ -8,10 +8,10 @@ use ff_bench::{bandwidth_sweep, latency_sweep, print_csv, print_table, standard_
 use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
 
 fn main() {
-    let scenario = Scenario::thunderbird(42);
+    let scenario = Scenario::thunderbird(42).expect("scenario builds");
     let policies = standard_policies(&scenario);
 
-    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS).expect("sweep runs");
     print_table(
         "Fig 3(a) thunderbird: energy vs WNIC latency",
         "lat(ms)",
@@ -19,7 +19,7 @@ fn main() {
     );
     print_csv(&a);
 
-    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS).expect("sweep runs");
     print_table(
         "Fig 3(b) thunderbird: energy vs WNIC bandwidth",
         "bw(Mbps)",

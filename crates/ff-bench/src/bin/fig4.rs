@@ -9,7 +9,7 @@ use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
 use ff_policy::PolicyKind;
 
 fn main() {
-    let scenario = Scenario::grep_make_xmms(42);
+    let scenario = Scenario::grep_make_xmms(42).expect("scenario builds");
     let policies = vec![
         PolicyKind::flexfetch(scenario.profile.clone()),
         PolicyKind::flexfetch_static(scenario.profile.clone()),
@@ -18,7 +18,7 @@ fn main() {
         PolicyKind::WnicOnly,
     ];
 
-    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS).expect("sweep runs");
     print_table(
         "Fig 4(a) grep+make||xmms: energy vs WNIC latency",
         "lat(ms)",
@@ -26,7 +26,7 @@ fn main() {
     );
     print_csv(&a);
 
-    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS).expect("sweep runs");
     print_table(
         "Fig 4(b) grep+make||xmms: energy vs WNIC bandwidth",
         "bw(Mbps)",

@@ -10,7 +10,7 @@ use ff_bench::{Scenario, BANDWIDTHS_MBPS, LATENCIES_MS};
 use ff_policy::PolicyKind;
 
 fn main() {
-    let scenario = Scenario::acroread_invalid(42);
+    let scenario = Scenario::acroread_invalid(42).expect("scenario builds");
     let policies = vec![
         PolicyKind::flexfetch(scenario.profile.clone()),
         PolicyKind::flexfetch_static(scenario.profile.clone()),
@@ -19,7 +19,7 @@ fn main() {
         PolicyKind::WnicOnly,
     ];
 
-    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+    let a = latency_sweep(&scenario, &policies, &LATENCIES_MS).expect("sweep runs");
     print_table(
         "Fig 5(a) acroread (invalid profile): energy vs WNIC latency",
         "lat(ms)",
@@ -27,7 +27,7 @@ fn main() {
     );
     print_csv(&a);
 
-    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+    let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS).expect("sweep runs");
     print_table(
         "Fig 5(b) acroread (invalid profile): energy vs WNIC bandwidth",
         "bw(Mbps)",

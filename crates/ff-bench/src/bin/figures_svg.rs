@@ -17,23 +17,23 @@ fn save(name: &str, title: &str, x_label: &str, rows: &[ff_bench::Row]) {
 
 fn main() {
     for (i, scenario) in [
-        Scenario::grep_make(42),
-        Scenario::mplayer(42),
-        Scenario::thunderbird(42),
+        Scenario::grep_make(42).expect("scenario builds"),
+        Scenario::mplayer(42).expect("scenario builds"),
+        Scenario::thunderbird(42).expect("scenario builds"),
     ]
     .iter()
     .enumerate()
     {
         let n = i + 1;
         let policies = standard_policies(scenario);
-        let a = latency_sweep(scenario, &policies, &LATENCIES_MS);
+        let a = latency_sweep(scenario, &policies, &LATENCIES_MS).expect("sweep runs");
         save(
             &format!("fig{n}a"),
             &format!("Fig {n}(a) {}: energy vs WNIC latency", scenario.name),
             "WNIC latency (ms)",
             &a,
         );
-        let b = bandwidth_sweep(scenario, &policies, &BANDWIDTHS_MBPS);
+        let b = bandwidth_sweep(scenario, &policies, &BANDWIDTHS_MBPS).expect("sweep runs");
         save(
             &format!("fig{n}b"),
             &format!("Fig {n}(b) {}: energy vs WNIC bandwidth", scenario.name),
@@ -42,8 +42,8 @@ fn main() {
         );
     }
     for (n, scenario) in [
-        (4, Scenario::grep_make_xmms(42)),
-        (5, Scenario::acroread_invalid(42)),
+        (4, Scenario::grep_make_xmms(42).expect("scenario builds")),
+        (5, Scenario::acroread_invalid(42).expect("scenario builds")),
     ] {
         let policies = vec![
             PolicyKind::flexfetch(scenario.profile.clone()),
@@ -52,14 +52,14 @@ fn main() {
             PolicyKind::DiskOnly,
             PolicyKind::WnicOnly,
         ];
-        let a = latency_sweep(&scenario, &policies, &LATENCIES_MS);
+        let a = latency_sweep(&scenario, &policies, &LATENCIES_MS).expect("sweep runs");
         save(
             &format!("fig{n}a"),
             &format!("Fig {n}(a) {}: energy vs WNIC latency", scenario.name),
             "WNIC latency (ms)",
             &a,
         );
-        let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS);
+        let b = bandwidth_sweep(&scenario, &policies, &BANDWIDTHS_MBPS).expect("sweep runs");
         save(
             &format!("fig{n}b"),
             &format!("Fig {n}(b) {}: energy vs WNIC bandwidth", scenario.name),

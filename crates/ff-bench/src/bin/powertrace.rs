@@ -32,7 +32,7 @@ fn main() {
     let policy = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "flexfetch".into());
-    let s = Scenario::mplayer(42);
+    let s = Scenario::mplayer(42).expect("scenario builds");
     let kind = match policy.as_str() {
         "flexfetch" => PolicyKind::flexfetch(s.profile.clone()),
         "bluefs" => PolicyKind::BlueFs,

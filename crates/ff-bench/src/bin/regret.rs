@@ -17,10 +17,10 @@ fn main() {
         "scenario", "FlexFetch", "Oracle", "best fixed", "regret"
     );
     let scenarios = [
-        Scenario::grep_make(42),
-        Scenario::mplayer(42),
-        Scenario::thunderbird(42),
-        Scenario::acroread_invalid(42),
+        Scenario::grep_make(42).expect("scenario builds"),
+        Scenario::mplayer(42).expect("scenario builds"),
+        Scenario::thunderbird(42).expect("scenario builds"),
+        Scenario::acroread_invalid(42).expect("scenario builds"),
     ];
     for s in &scenarios {
         let cfg = || s.configure(SimConfig::default());

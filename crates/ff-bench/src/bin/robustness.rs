@@ -62,33 +62,33 @@ fn main() {
     };
 
     for &seed in &seeds {
-        let s = Scenario::grep_make(seed);
+        let s = Scenario::grep_make(seed).expect("scenario builds");
         let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
         let bf = energy(&s, PolicyKind::BlueFs);
         let d = energy(&s, PolicyKind::DiskOnly);
         let w = energy(&s, PolicyKind::WnicOnly);
         t1.check(ff < w && w < d && bf > d * 0.95, seed);
 
-        let s = Scenario::mplayer(seed);
+        let s = Scenario::mplayer(seed).expect("scenario builds");
         let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
         let bf = energy(&s, PolicyKind::BlueFs);
         let d = energy(&s, PolicyKind::DiskOnly);
         let w = energy(&s, PolicyKind::WnicOnly);
         t2.check((ff - w).abs() / w < 0.10 && bf > d * 0.99, seed);
 
-        let s = Scenario::thunderbird(seed);
+        let s = Scenario::thunderbird(seed).expect("scenario builds");
         let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
         let bf = energy(&s, PolicyKind::BlueFs);
         let d = energy(&s, PolicyKind::DiskOnly);
         let w = energy(&s, PolicyKind::WnicOnly);
         t3.check(ff < bf && ff < d && ff < w, seed);
 
-        let s = Scenario::grep_make_xmms(seed);
+        let s = Scenario::grep_make_xmms(seed).expect("scenario builds");
         let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
         let st = energy(&s, PolicyKind::flexfetch_static(s.profile.clone()));
         t4.check(ff < st * 0.90, seed);
 
-        let s = Scenario::acroread_invalid(seed);
+        let s = Scenario::acroread_invalid(seed).expect("scenario builds");
         let ff = energy(&s, PolicyKind::flexfetch(s.profile.clone()));
         let st = energy(&s, PolicyKind::flexfetch_static(s.profile.clone()));
         let bf = energy(&s, PolicyKind::BlueFs);

@@ -15,11 +15,13 @@
 //! Each binary prints the figure's series as an aligned table and a CSV
 //! block, so results can be diffed against EXPERIMENTS.md.
 
+pub mod faults;
 pub mod observe;
 pub mod scenarios;
 pub mod svg;
 pub mod sweep;
 
+pub use faults::{cell_json, check_invariants, fault_plan, fault_run, FAULT_SCENARIOS};
 pub use scenarios::Scenario;
 pub use svg::{line_chart, rows_to_series};
 pub use sweep::{

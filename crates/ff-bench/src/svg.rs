@@ -26,8 +26,7 @@ pub fn rows_to_series(rows: &[Row]) -> Vec<Series> {
         }
     }
     for s in &mut out {
-        s.points
-            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        s.points.sort_by(|a, b| a.0.total_cmp(&b.0));
     }
     out
 }

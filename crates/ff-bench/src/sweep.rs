@@ -6,7 +6,7 @@
 //! fan out across threads with `crossbeam::scope`.
 
 use crate::scenarios::Scenario;
-use ff_base::Dur;
+use ff_base::{Dur, Error, Result};
 use ff_policy::PolicyKind;
 use ff_sim::{SimConfig, Simulation};
 
@@ -29,18 +29,17 @@ pub struct Row {
     pub time_s: f64,
 }
 
-fn run_point(scenario: &Scenario, kind: &PolicyKind, cfg: SimConfig, x: f64) -> Row {
+fn run_point(scenario: &Scenario, kind: &PolicyKind, cfg: SimConfig, x: f64) -> Result<Row> {
     let cfg = scenario.configure(cfg);
     let report = Simulation::new(cfg, &scenario.trace)
         .policy(kind.clone())
-        .run()
-        .expect("scenario traces are valid");
-    Row {
+        .run()?;
+    Ok(Row {
         policy: report.policy.clone(),
         x,
         energy_j: report.total_energy().get(),
         time_s: report.exec_time.as_secs_f64(),
-    }
+    })
 }
 
 /// Run `policies` over a sweep of WNIC latencies at 11 Mbps.
@@ -48,7 +47,7 @@ pub fn latency_sweep(
     scenario: &Scenario,
     policies: &[PolicyKind],
     latencies_ms: &[u64],
-) -> Vec<Row> {
+) -> Result<Vec<Row>> {
     let points: Vec<(usize, u64)> = policies
         .iter()
         .enumerate()
@@ -67,7 +66,7 @@ pub fn bandwidth_sweep(
     scenario: &Scenario,
     policies: &[PolicyKind],
     bandwidths_mbps: &[f64],
-) -> Vec<Row> {
+) -> Result<Vec<Row>> {
     let points: Vec<(usize, u64)> = policies
         .iter()
         .enumerate()
@@ -93,12 +92,13 @@ fn run_parallel(
     policies: &[PolicyKind],
     points: &[(usize, u64)],
     make_cfg: impl Fn(u64) -> (SimConfig, f64) + Sync,
-) -> Vec<Row> {
+) -> Result<Vec<Row>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    let mut rows: Vec<Option<Row>> = vec![None; points.len()];
-    let chunk = points.len().div_ceil(threads);
+    let mut rows: Vec<Option<Result<Row>>> = Vec::new();
+    rows.resize_with(points.len(), || None);
+    let chunk = points.len().div_ceil(threads).max(1);
     crossbeam::scope(|s| {
         for (slot_chunk, point_chunk) in rows.chunks_mut(chunk).zip(points.chunks(chunk)) {
             let make_cfg = &make_cfg;
@@ -110,9 +110,9 @@ fn run_parallel(
             });
         }
     })
-    .expect("sweep worker panicked");
+    .map_err(|_| Error::Internal("sweep worker panicked".into()))?;
     rows.into_iter()
-        .map(|r| r.expect("all points filled"))
+        .map(|r| r.unwrap_or_else(|| Err(Error::Internal("sweep point left unfilled".into()))))
         .collect()
 }
 
@@ -132,7 +132,7 @@ pub fn print_table(title: &str, x_label: &str, rows: &[Row]) {
             xs.push(r.x);
         }
     }
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("x is finite"));
+    xs.sort_by(f64::total_cmp);
 
     print!("{x_label:>10}");
     for p in &policies {
@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_every_policy_and_point() {
-        let mut s = Scenario::grep_make(1);
+        let mut s = Scenario::grep_make(1).unwrap();
         // Shrink the workload so the test is quick.
         s.trace = ff_trace::Grep {
             files: 30,
@@ -197,10 +197,10 @@ mod tests {
             .build(3),
         );
         let policies = [PolicyKind::DiskOnly, PolicyKind::WnicOnly];
-        let rows = latency_sweep(&s, &policies, &[0, 10]);
+        let rows = latency_sweep(&s, &policies, &[0, 10]).unwrap();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.energy_j > 0.0));
-        let rows = bandwidth_sweep(&s, &policies, &[1.0, 11.0]);
+        let rows = bandwidth_sweep(&s, &policies, &[1.0, 11.0]).unwrap();
         assert_eq!(rows.len(), 4);
         // WNIC-only at 1 Mbps must cost more than at 11 Mbps.
         let w1 = rows

@@ -9,7 +9,7 @@
 //! would have been cheaper — spinning the disk up once the foregone
 //! savings exceed the wake-up cost.
 
-use crate::source::{AppRequest, Policy, PolicyCtx, Source};
+use crate::source::{AppRequest, FaultNotice, Policy, PolicyCtx, Source};
 use ff_base::{Dur, Joules};
 use ff_device::{DeviceRequest, Dir, DiskModel, PowerModel, ServiceOutcome};
 use ff_trace::IoOp;
@@ -29,6 +29,10 @@ pub struct BlueFs {
     /// 1.6 W while small requests keep flowing to the WNIC in CAM — the
     /// paper's "significant energy consumption for both devices".
     timeout_override: Option<Dur>,
+    /// The wireless link is down (fault notice).
+    link_down: bool,
+    /// The remote server is unreachable (fault notice).
+    server_down: bool,
 }
 
 impl BlueFs {
@@ -38,6 +42,8 @@ impl BlueFs {
             ghost_hint: Joules::ZERO,
             threshold: Joules(5.0 + 2.94),
             timeout_override: None,
+            link_down: false,
+            server_down: false,
         }
     }
 
@@ -85,6 +91,13 @@ impl Policy for BlueFs {
     }
 
     fn select(&mut self, ctx: &PolicyCtx<'_>, req: &AppRequest) -> Source {
+        if self.link_down || self.server_down {
+            // The network path is known-bad: its "current access cost" is
+            // effectively infinite, so the reactive rule collapses to the
+            // disk. Hints earned against a dead network are meaningless.
+            self.ghost_hint = Joules::ZERO;
+            return Source::Disk;
+        }
         let block = ctx.layout.block_of(req.file, req.offset);
         let disk_req = Self::to_dev(req, block);
         let wnic_req = Self::to_dev(req, None);
@@ -131,6 +144,19 @@ impl Policy for BlueFs {
                     self.ghost_hint += outcome.energy - active_cost;
                 }
             }
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &PolicyCtx<'_>, notice: FaultNotice) {
+        let _ = ctx;
+        match notice {
+            FaultNotice::LinkDown => self.link_down = true,
+            FaultNotice::LinkUp => self.link_down = false,
+            FaultNotice::ServerDown => self.server_down = true,
+            FaultNotice::ServerUp => self.server_down = false,
+            // Reactive by construction: the next estimate sees the new
+            // bandwidth through the live WNIC model automatically.
+            FaultNotice::BandwidthChanged { .. } => {}
         }
     }
 
@@ -281,6 +307,28 @@ mod tests {
         // A fully cache-hit syscall carries no device evidence.
         p.observe(&ctx(&w, &nores), &req(1), None, &out);
         assert_eq!(p.ghost_hint(), before, "cache hit must not reset hints");
+    }
+
+    #[test]
+    fn outage_pins_selection_to_disk_and_clears_hints() {
+        let w = world(true);
+        let nores = |_: FileId, _: u64, _: Bytes| 0.0;
+        let mut p = BlueFs::new();
+        for _ in 0..2 {
+            round(&mut p, &w, 1_000_000);
+        }
+        assert!(p.ghost_hint().get() > 0.0);
+        p.on_fault(&ctx(&w, &nores), FaultNotice::LinkDown);
+        // Even a request the WNIC would normally win goes to the disk,
+        // and the stale hints are discarded.
+        assert_eq!(p.select(&ctx(&w, &nores), &req(65_536)), Source::Disk);
+        assert_eq!(p.ghost_hint(), Joules::ZERO);
+        p.on_fault(&ctx(&w, &nores), FaultNotice::LinkUp);
+        assert_eq!(
+            p.select(&ctx(&w, &nores), &req(65_536)),
+            Source::Wnic,
+            "reactive selection resumes once the link is back"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! corrects course.
 
 use crate::rules::decide;
-use crate::source::{AppRequest, Policy, PolicyCtx, Source, StageReport};
+use crate::source::{AppRequest, FaultNotice, Policy, PolicyCtx, Source, StageReport};
 use ff_base::{Bytes, Dur, SimTime};
 use ff_device::ServiceOutcome;
 use ff_profile::{
@@ -93,6 +93,10 @@ pub struct FlexFetch {
     logged: bool,
     /// Instant the current decision took effect (audit stability gate).
     stable_since: SimTime,
+    /// The wireless link is currently down (fault notice pending an up).
+    link_down: bool,
+    /// The remote server is currently unreachable.
+    server_down: bool,
 }
 
 impl FlexFetch {
@@ -114,6 +118,8 @@ impl FlexFetch {
             log: Vec::new(),
             logged: false,
             stable_since: SimTime::ZERO,
+            link_down: false,
+            server_down: false,
         }
     }
 
@@ -146,6 +152,13 @@ impl FlexFetch {
             self.stable_since = now;
         }
         self.current = src;
+    }
+
+    /// Whether the network path is currently known-bad (link lost or
+    /// server unreachable). While degraded, the adaptive policy pins
+    /// itself to the disk — the least-bad reachable source.
+    pub fn degraded(&self) -> bool {
+        self.link_down || self.server_down
     }
 
     /// §2.3.3 free-rider check: the disk is being kept spinning by
@@ -225,6 +238,11 @@ impl Policy for FlexFetch {
             }
         }
         let _ = req;
+        if self.config.adaptive && self.degraded() {
+            // §2.3 degradation: the network path is known-bad; the disk
+            // is the least-bad reachable source until the fault clears.
+            return Source::Disk;
+        }
         if self.config.adaptive && self.current == Source::Wnic && self.free_ride_active(ctx) {
             // Someone else is paying for the spinning disk — ride along.
             return Source::Disk;
@@ -261,7 +279,7 @@ impl Policy for FlexFetch {
         let n = self.old_profile.bursts_covering(bytes);
         if n > self.last_n && !self.old_profile.is_empty() {
             self.last_n = n;
-            if self.forced.is_none() {
+            if self.forced.is_none() && !self.degraded() {
                 let stage = self.upcoming_stage(n);
                 if !stage.is_empty() {
                     let d = self.decide_for(ctx, &stage);
@@ -296,6 +314,11 @@ impl Policy for FlexFetch {
             return;
         }
         self.sync_observed();
+        if self.degraded() {
+            // Mid-outage: measured evidence is dominated by the fault,
+            // and the network is not a legal choice anyway. Stay pinned.
+            return;
+        }
         if report.observed.is_empty() {
             // Nothing reached a device this stage — no evidence to audit.
             return;
@@ -348,6 +371,70 @@ impl Policy for FlexFetch {
             Some(pc) if pc == new => None,
             _ => Some(new),
         };
+    }
+
+    fn on_fault(&mut self, ctx: &PolicyCtx<'_>, notice: FaultNotice) {
+        if !self.config.adaptive {
+            // FlexFetch-static trusts the recorded profile and never
+            // corrects course — faults included (the router still
+            // refuses to use an unreachable device on its behalf).
+            return;
+        }
+        match notice {
+            FaultNotice::LinkDown => self.link_down = true,
+            FaultNotice::ServerDown => self.server_down = true,
+            FaultNotice::LinkUp => self.link_down = false,
+            FaultNotice::ServerUp => self.server_down = false,
+            FaultNotice::BandwidthChanged { .. } => {
+                // The network's cost basis shifted: re-run the rules on
+                // the upcoming stage against the new link rate, unless an
+                // audit override says measurements are steering.
+                if self.decided && !self.degraded() && self.forced.is_none() {
+                    let stage = self.upcoming_stage(self.last_n);
+                    if !stage.is_empty() {
+                        let d = self.decide_for(ctx, &stage);
+                        self.set_current(ctx.now, d, "fault:bandwidth");
+                    }
+                }
+                return;
+            }
+        }
+        if self.degraded() {
+            self.set_current(ctx.now, Source::Disk, "fault:degraded");
+        } else {
+            // The last network fault cleared. Any audit override was
+            // earned under faulted conditions — drop it and let the
+            // profile re-decide from the devices' current states.
+            self.forced = None;
+            if self.decided {
+                let stage = self.upcoming_stage(self.last_n);
+                if !stage.is_empty() {
+                    let d = self.decide_for(ctx, &stage);
+                    self.set_current(ctx.now, d, "fault:recovered");
+                }
+            }
+        }
+    }
+
+    fn inject_profile(&mut self, ctx: &PolicyCtx<'_>, profile: Profile) {
+        // A replacement execution profile landed mid-run (stale or
+        // corrupted history). Both variants adopt it — that is the point
+        // of the fault — but only the adaptive variant can later audit
+        // its way out of bad advice. Splice bookkeeping restarts: the
+        // observed prefix means nothing against the new burst list.
+        self.old_profile = profile;
+        self.last_n = 0;
+        self.forced = None;
+        if self.config.adaptive && self.degraded() {
+            return; // stay pinned to the disk until the outage clears
+        }
+        if self.decided {
+            let stage = self.upcoming_stage(0);
+            if !stage.is_empty() {
+                let d = self.decide_for(ctx, &stage);
+                self.set_current(ctx.now, d, "fault:profile");
+            }
+        }
     }
 
     fn take_decision_log(&mut self) -> Vec<(SimTime, Source, &'static str)> {
@@ -713,6 +800,92 @@ mod tests {
         assert_eq!(p.select(&c, &any_req()), Source::Wnic);
         p.on_external_disk(SimTime::from_secs(9) + Dur::from_secs(1));
         assert_eq!(p.select(&c, &any_req()), Source::Disk);
+    }
+
+    #[test]
+    fn link_outage_degrades_to_disk_and_recovers() {
+        let w = world();
+        let mut p = FlexFetch::new(intermittent_profile(), FlexFetchConfig::default());
+        let c = ctx(&w, SimTime::ZERO, &nores);
+        assert_eq!(p.select(&c, &any_req()), Source::Wnic);
+        p.on_fault(&c, FaultNotice::LinkDown);
+        assert!(p.degraded());
+        assert_eq!(p.select(&c, &any_req()), Source::Disk, "must degrade");
+        let c1 = ctx(&w, SimTime::from_secs(5), &nores);
+        p.on_fault(&c1, FaultNotice::LinkUp);
+        assert!(!p.degraded());
+        assert_eq!(
+            p.select(&c1, &any_req()),
+            Source::Wnic,
+            "profile steers again once the fault clears"
+        );
+        let triggers: Vec<&str> = p.decision_log().iter().map(|d| d.2).collect();
+        assert!(triggers.contains(&"fault:degraded"), "{triggers:?}");
+        assert!(triggers.contains(&"fault:recovered"), "{triggers:?}");
+    }
+
+    #[test]
+    fn overlapping_faults_recover_only_when_all_clear() {
+        let w = world();
+        let mut p = FlexFetch::new(intermittent_profile(), FlexFetchConfig::default());
+        let c = ctx(&w, SimTime::ZERO, &nores);
+        p.select(&c, &any_req());
+        p.on_fault(&c, FaultNotice::LinkDown);
+        p.on_fault(&c, FaultNotice::ServerDown);
+        p.on_fault(&c, FaultNotice::LinkUp);
+        assert!(p.degraded(), "server is still down");
+        assert_eq!(p.select(&c, &any_req()), Source::Disk);
+        p.on_fault(&c, FaultNotice::ServerUp);
+        assert!(!p.degraded());
+        assert_eq!(p.select(&c, &any_req()), Source::Wnic);
+    }
+
+    #[test]
+    fn static_variant_ignores_fault_notices() {
+        let w = world();
+        let mut p = FlexFetch::new_static(intermittent_profile());
+        let c = ctx(&w, SimTime::ZERO, &nores);
+        assert_eq!(p.select(&c, &any_req()), Source::Wnic);
+        p.on_fault(&c, FaultNotice::LinkDown);
+        assert!(!p.degraded());
+        assert_eq!(
+            p.select(&c, &any_req()),
+            Source::Wnic,
+            "static never corrects course; the router shields it"
+        );
+    }
+
+    #[test]
+    fn injected_profile_redecides() {
+        let w = world();
+        // Start on a sparse (WNIC) profile, then inject a dense one: the
+        // policy must adopt it and flip to the disk with a fault trigger.
+        let mut p = FlexFetch::new(intermittent_profile(), FlexFetchConfig::default());
+        let c = ctx(&w, SimTime::ZERO, &nores);
+        assert_eq!(p.select(&c, &any_req()), Source::Wnic);
+        p.inject_profile(&c, bursty_profile());
+        assert_eq!(p.current_source(), Source::Disk);
+        assert_eq!(p.decision_log().last().map(|d| d.2), Some("fault:profile"));
+    }
+
+    #[test]
+    fn bandwidth_change_triggers_reevaluation() {
+        let mut w = world();
+        let mut p = FlexFetch::new(intermittent_profile(), FlexFetchConfig::default());
+        {
+            let c = ctx(&w, SimTime::ZERO, &nores);
+            assert_eq!(p.select(&c, &any_req()), Source::Wnic);
+        }
+        // The link collapses to a crawl: the same sparse stage is now far
+        // slower over the network, so the re-decision flips to the disk.
+        w.wnic
+            .set_bandwidth(ff_base::BytesPerSec::from_mbit_per_sec(0.1));
+        let c = ctx(&w, SimTime::ZERO, &nores);
+        p.on_fault(&c, FaultNotice::BandwidthChanged { mbps: 0.1 });
+        assert_eq!(
+            p.decision_log().last().map(|d| d.2),
+            Some("fault:bandwidth")
+        );
     }
 
     #[test]

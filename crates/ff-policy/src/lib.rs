@@ -47,4 +47,4 @@ pub use flexfetch::{FlexFetch, FlexFetchConfig};
 pub use kind::PolicyKind;
 pub use oracle::{plan_oracle, Oracle, OraclePlan};
 pub use rules::decide;
-pub use source::{AppRequest, Policy, PolicyCtx, Source, StageReport};
+pub use source::{AppRequest, FaultNotice, Policy, PolicyCtx, Source, StageReport};

@@ -61,6 +61,46 @@ pub struct PolicyCtx<'a> {
     pub resident: &'a dyn Fn(FileId, u64, Bytes) -> f64,
 }
 
+/// A mid-run environment perturbation the simulator reports to the
+/// policy (fault injection, §2.3's hostile-environment adaptation).
+///
+/// Notices come in down/up pairs so a policy can degrade while the
+/// fault is active and re-decide when it clears. Policies that ignore
+/// these (the fixed baselines) still work: the simulator's router
+/// refuses to route to an unreachable device regardless of what
+/// [`Policy::select`] answers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultNotice {
+    /// The wireless link lost association; no traffic gets through.
+    LinkDown,
+    /// The wireless link re-associated.
+    LinkUp,
+    /// The remote storage server stopped answering (the link itself is
+    /// fine — requests time out instead of failing fast).
+    ServerDown,
+    /// The remote storage server answers again.
+    ServerUp,
+    /// The link bandwidth changed (fade began/ended or a scripted
+    /// schedule point fired); `mbps` is the new rate.
+    BandwidthChanged {
+        /// New link bandwidth in Mbit/s.
+        mbps: f64,
+    },
+}
+
+impl FaultNotice {
+    /// Stable tag used in decision logs and event streams.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultNotice::LinkDown => "link_down",
+            FaultNotice::LinkUp => "link_up",
+            FaultNotice::ServerDown => "server_down",
+            FaultNotice::ServerUp => "server_up",
+            FaultNotice::BandwidthChanged { .. } => "bandwidth_changed",
+        }
+    }
+}
+
 /// What the simulator measured over one finished evaluation stage.
 #[derive(Debug, Clone)]
 pub struct StageReport {
@@ -128,6 +168,21 @@ pub trait Policy {
         let _ = (ctx, report);
     }
 
+    /// The environment changed mid-run (link lost/regained, server
+    /// unreachable/back, bandwidth fade). Policies that adapt should
+    /// degrade to the least-bad source while the fault is active and
+    /// re-decide when it clears; the default ignores the notice.
+    fn on_fault(&mut self, ctx: &PolicyCtx<'_>, notice: FaultNotice) {
+        let _ = (ctx, notice);
+    }
+
+    /// Replace the policy's execution profile mid-run (fault injection:
+    /// a stale or corrupted profile landed). History-driven policies
+    /// should adopt it and re-decide; everyone else ignores it.
+    fn inject_profile(&mut self, ctx: &PolicyCtx<'_>, profile: ff_profile::Profile) {
+        let _ = (ctx, profile);
+    }
+
     /// The profile recorded for the finished run, if this policy builds
     /// one (persisted for the program's next execution, §2.3.1).
     fn recorded_profile(&mut self) -> Option<ff_profile::Profile> {
@@ -165,6 +220,18 @@ mod tests {
     fn labels_are_stable() {
         assert_eq!(Source::Disk.label(), "disk");
         assert_eq!(Source::Wnic.label(), "wnic");
+    }
+
+    #[test]
+    fn fault_notice_labels_are_stable() {
+        assert_eq!(FaultNotice::LinkDown.label(), "link_down");
+        assert_eq!(FaultNotice::LinkUp.label(), "link_up");
+        assert_eq!(FaultNotice::ServerDown.label(), "server_down");
+        assert_eq!(FaultNotice::ServerUp.label(), "server_up");
+        assert_eq!(
+            FaultNotice::BandwidthChanged { mbps: 2.0 }.label(),
+            "bandwidth_changed"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::faults::{FaultPlan, RetryPolicy};
 use ff_base::Dur;
 use ff_cache::CacheConfig;
 use ff_device::{DiskParams, FlashParams, WnicParams};
@@ -56,6 +57,15 @@ pub struct SimConfig {
     /// WNIC; writes aimed at a sleeping disk buffer in flash and destage
     /// when the disk wakes.
     pub flash: Option<(FlashParams, usize)>,
+    /// Scripted fault plan (link outages, bandwidth fades, server
+    /// outages, disk storms, profile injection). Empty by default —
+    /// a run without faults behaves exactly as before the fault
+    /// subsystem existed.
+    pub faults: FaultPlan,
+    /// Retry ladder applied to network requests while an injected
+    /// server outage is active (timeout → exponential backoff →
+    /// failover to disk).
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -74,6 +84,8 @@ impl Default for SimConfig {
             wnic_bandwidth_schedule: Vec::new(),
             wnic_outages: Vec::new(),
             flash: None,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -125,6 +137,18 @@ impl SimConfig {
         self
     }
 
+    /// Attach a scripted fault plan (replaces any existing one).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Override the server-outage retry ladder.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Attach a flash tier of `capacity_mb` megabytes.
     pub fn with_flash_mb(mut self, capacity_mb: usize) -> Self {
         self.flash = Some((
@@ -148,6 +172,23 @@ mod tests {
         assert!(c.disk_only_files.is_empty());
         assert!(c.network_only_files.is_empty());
         assert!(!c.sync_writes);
+        assert!(c.faults.is_empty(), "no faults unless scripted");
+        assert_eq!(c.retry, RetryPolicy::default());
+    }
+
+    #[test]
+    fn fault_builders_apply() {
+        let plan = FaultPlan::none().with_link_outage(Dur::from_secs(5), Dur::from_secs(2));
+        let retry = RetryPolicy {
+            timeout: Dur::from_secs(1),
+            backoff: Dur::from_millis(100),
+            max_retries: 2,
+        };
+        let c = SimConfig::default()
+            .with_faults(plan.clone())
+            .with_retry(retry);
+        assert_eq!(c.faults, plan);
+        assert_eq!(c.retry, retry);
     }
 
     #[test]

@@ -44,12 +44,14 @@
 
 pub mod battery;
 pub mod config;
+pub mod faults;
 pub mod record;
 pub mod report;
 pub mod sim;
 
 pub use battery::Battery;
 pub use config::SimConfig;
+pub use faults::{Fault, FaultPlan, ProfileFaultMode, RetryPolicy};
 pub use record::{CountingRecorder, Event, EventLog, NullRecorder, Recorder};
 pub use report::{SimReport, StageSummary};
 pub use sim::Simulation;

@@ -38,7 +38,7 @@
 //! assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
 //! ```
 
-use ff_base::{json::Value, Bytes, Joules, SimTime};
+use ff_base::{json::Value, Bytes, Dur, Joules, SimTime};
 use ff_policy::Source;
 use std::collections::BTreeMap;
 
@@ -205,6 +205,73 @@ pub enum Event {
         /// Cumulative flash energy (zero when no flash tier).
         flash_energy: Joules,
     },
+    /// Fault injection: the wireless link lost association.
+    LinkDown {
+        /// When the link went down.
+        at: SimTime,
+        /// Scheduled end of the outage.
+        until: SimTime,
+    },
+    /// Fault injection: the wireless link re-associated.
+    LinkUp {
+        /// When the link came back.
+        at: SimTime,
+    },
+    /// The WNIC link bandwidth changed mid-run — a scripted schedule
+    /// point, a fade onset, or a fade ending and restoring the old rate.
+    BandwidthChange {
+        /// When the rate changed.
+        at: SimTime,
+        /// The new link bandwidth in Mbit/s.
+        mbps: f64,
+    },
+    /// Fault injection: the remote server stopped answering.
+    ServerDown {
+        /// When the server went unreachable.
+        at: SimTime,
+        /// Scheduled end of the outage.
+        until: SimTime,
+    },
+    /// Fault injection: the remote server answers again.
+    ServerUp {
+        /// When the server came back.
+        at: SimTime,
+    },
+    /// A network request timed out against an unresponsive server and
+    /// will retry after `wait` of exponential backoff.
+    RequestRetry {
+        /// When the attempt timed out.
+        at: SimTime,
+        /// Attempt ordinal (1-based).
+        attempt: u32,
+        /// Backoff before the next attempt.
+        wait: Dur,
+    },
+    /// The retry ladder was exhausted; the request was rerouted.
+    Failover {
+        /// When the failover happened.
+        at: SimTime,
+        /// Where the request went instead.
+        source: Source,
+        /// Why (stable tag, e.g. `"server-timeout"`).
+        reason: &'static str,
+    },
+    /// A background (non-profiled) process read from the disk — a
+    /// [`Fault::DiskStorm`](crate::faults::Fault::DiskStorm) touch.
+    ExternalDisk {
+        /// When the touch happened.
+        at: SimTime,
+        /// Bytes read by the background process.
+        bytes: Bytes,
+    },
+    /// Fault injection: a replacement execution profile was handed to
+    /// the policy (`"stale"` or `"corrupt"`).
+    ProfileInjected {
+        /// Injection time.
+        at: SimTime,
+        /// The [`ProfileFaultMode`](crate::faults::ProfileFaultMode) tag.
+        mode: &'static str,
+    },
 }
 
 impl Event {
@@ -220,7 +287,16 @@ impl Event {
             | Event::CacheRead { at, .. }
             | Event::WritebackFlush { at, .. }
             | Event::Adaptation { at, .. }
-            | Event::EnergySample { at, .. } => at,
+            | Event::EnergySample { at, .. }
+            | Event::LinkDown { at, .. }
+            | Event::LinkUp { at }
+            | Event::BandwidthChange { at, .. }
+            | Event::ServerDown { at, .. }
+            | Event::ServerUp { at }
+            | Event::RequestRetry { at, .. }
+            | Event::Failover { at, .. }
+            | Event::ExternalDisk { at, .. }
+            | Event::ProfileInjected { at, .. } => at,
         }
     }
 
@@ -237,6 +313,15 @@ impl Event {
             Event::WritebackFlush { .. } => "writeback_flush",
             Event::Adaptation { .. } => "adaptation",
             Event::EnergySample { .. } => "energy_sample",
+            Event::LinkDown { .. } => "link_down",
+            Event::LinkUp { .. } => "link_up",
+            Event::BandwidthChange { .. } => "bandwidth_change",
+            Event::ServerDown { .. } => "server_down",
+            Event::ServerUp { .. } => "server_up",
+            Event::RequestRetry { .. } => "request_retry",
+            Event::Failover { .. } => "failover",
+            Event::ExternalDisk { .. } => "external_disk",
+            Event::ProfileInjected { .. } => "profile_injected",
         }
     }
 
@@ -332,6 +417,27 @@ impl Event {
                 push("disk_j", Value::Float(disk_energy.get()));
                 push("wnic_j", Value::Float(wnic_energy.get()));
                 push("flash_j", Value::Float(flash_energy.get()));
+            }
+            Event::LinkDown { until, .. } | Event::ServerDown { until, .. } => {
+                push("until_us", Value::UInt(until.as_micros()));
+            }
+            Event::LinkUp { .. } | Event::ServerUp { .. } => {}
+            Event::BandwidthChange { mbps, .. } => {
+                push("mbps", Value::Float(mbps));
+            }
+            Event::RequestRetry { attempt, wait, .. } => {
+                push("attempt", Value::UInt(u64::from(attempt)));
+                push("wait_us", Value::UInt(wait.as_micros()));
+            }
+            Event::Failover { source, reason, .. } => {
+                push("source", Value::Str(source.label().into()));
+                push("why", Value::Str(reason.into()));
+            }
+            Event::ExternalDisk { bytes, .. } => {
+                push("bytes", Value::UInt(bytes.get()));
+            }
+            Event::ProfileInjected { mode, .. } => {
+                push("mode", Value::Str(mode.into()));
             }
         }
         Value::Object(obj)
@@ -618,6 +724,90 @@ mod tests {
             at: SimTime::ZERO,
             index: 0,
         });
+    }
+
+    #[test]
+    fn fault_events_encode_their_fields() {
+        let cases: Vec<(Event, &str, &str)> = vec![
+            (
+                Event::LinkDown {
+                    at: SimTime::from_secs(10),
+                    until: SimTime::from_secs(15),
+                },
+                "link_down",
+                r#""until_us":15000000"#,
+            ),
+            (
+                Event::LinkUp {
+                    at: SimTime::from_secs(15),
+                },
+                "link_up",
+                r#""ev":"link_up""#,
+            ),
+            (
+                Event::BandwidthChange {
+                    at: SimTime::from_secs(20),
+                    mbps: 2.0,
+                },
+                "bandwidth_change",
+                r#""mbps":2"#,
+            ),
+            (
+                Event::ServerDown {
+                    at: SimTime::from_secs(30),
+                    until: SimTime::from_secs(42),
+                },
+                "server_down",
+                r#""until_us":42000000"#,
+            ),
+            (
+                Event::ServerUp {
+                    at: SimTime::from_secs(42),
+                },
+                "server_up",
+                r#""ev":"server_up""#,
+            ),
+            (
+                Event::RequestRetry {
+                    at: SimTime::from_secs(31),
+                    attempt: 2,
+                    wait: Dur::from_millis(1000),
+                },
+                "request_retry",
+                r#""attempt":2,"wait_us":1000000"#,
+            ),
+            (
+                Event::Failover {
+                    at: SimTime::from_secs(33),
+                    source: Source::Disk,
+                    reason: "server-timeout",
+                },
+                "failover",
+                r#""source":"disk","why":"server-timeout""#,
+            ),
+            (
+                Event::ExternalDisk {
+                    at: SimTime::from_secs(50),
+                    bytes: Bytes(65_536),
+                },
+                "external_disk",
+                r#""bytes":65536"#,
+            ),
+            (
+                Event::ProfileInjected {
+                    at: SimTime::from_secs(60),
+                    mode: "corrupt",
+                },
+                "profile_injected",
+                r#""mode":"corrupt""#,
+            ),
+        ];
+        for (ev, kind, needle) in cases {
+            assert_eq!(ev.kind(), kind);
+            let text = ev.to_json().to_compact();
+            assert!(text.contains(needle), "{kind}: {text}");
+            assert_eq!(Value::parse(&text).expect("valid JSON"), ev.to_json());
+        }
     }
 
     #[test]

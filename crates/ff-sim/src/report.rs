@@ -83,6 +83,14 @@ pub struct SimReport {
     pub cache_stats: ff_cache::CacheStats,
     /// Evaluation stages completed.
     pub stages: usize,
+    /// Fault actions applied (outage/fade onsets, disk-storm touches,
+    /// profile injections — clears are not counted).
+    pub faults_injected: u64,
+    /// Network-request timeouts that led to a retry (injected server
+    /// outages only).
+    pub retries: u64,
+    /// Requests rerouted (or stalled) after an exhausted retry ladder.
+    pub failovers: u64,
     /// The profile the policy recorded for the next run, if any.
     pub recorded_profile: Option<Profile>,
     /// The policy's decision history `(when, source, trigger)`, if it
@@ -152,6 +160,9 @@ mod tests {
             cache_misses: 10,
             cache_stats: ff_cache::CacheStats::default(),
             stages: 3,
+            faults_injected: 0,
+            retries: 0,
+            failovers: 0,
             recorded_profile: None,
             decisions: Vec::new(),
             stage_summaries: Vec::new(),

@@ -1,13 +1,14 @@
 //! The replay engine.
 
 use crate::config::SimConfig;
+use crate::faults::{Fault, FaultPlan, ProfileFaultMode};
 use crate::record::{Device, Event as ObsEvent, NullRecorder, Recorder};
 use crate::report::SimReport;
-use ff_base::{size::PAGE_SIZE, Bytes, Dur, Error, Joules, Result, SimTime};
+use ff_base::{size::PAGE_SIZE, Bytes, BytesPerSec, Dur, Error, Joules, Result, SimTime};
 use ff_cache::cscan::{BlockRequest, CScanQueue};
 use ff_cache::{BufferCache, FlashCache, PageKey};
 use ff_device::{DeviceRequest, DiskModel, FlashModel, PowerModel, ServiceOutcome, WnicModel};
-use ff_policy::{AppRequest, Policy, PolicyCtx, PolicyKind, Source};
+use ff_policy::{AppRequest, FaultNotice, Policy, PolicyCtx, PolicyKind, Source};
 use ff_profile::burst::OnlineBurstBuilder;
 use ff_profile::BurstExtractor;
 use ff_trace::{DiskLayout, FileId, IoOp, Trace, TraceRecord};
@@ -72,6 +73,8 @@ impl<'t> Simulation<'t> {
     /// ```
     pub fn run_recorded(self, recorder: &mut dyn Recorder) -> Result<SimReport> {
         self.trace.validate()?;
+        self.config.faults.validate()?;
+        self.config.retry.validate()?;
         if self.trace.is_empty() {
             return Err(Error::Config("cannot simulate an empty trace".into()));
         }
@@ -91,6 +94,71 @@ enum EventKind {
     StageEnd,
     /// Apply the next scheduled WNIC bandwidth change.
     WnicChange(usize),
+    /// Apply the fault action at this index of `Runner::fault_actions`
+    /// (actions live in a side table so this enum stays `Ord`).
+    Fault(usize),
+}
+
+/// One expanded, instant-anchored fault action. A [`Fault`] window
+/// becomes an onset/clear pair; a [`Fault::DiskStorm`] becomes one
+/// action per touch.
+#[derive(Debug, Clone, Copy)]
+enum FaultAction {
+    /// Link association lost until `until`.
+    LinkDown { until: SimTime },
+    /// Link re-associated.
+    LinkUp,
+    /// Server unreachable until `until`.
+    ServerDown { until: SimTime },
+    /// Server answering again.
+    ServerUp,
+    /// Bandwidth fade begins: drop the link rate to `mbps`.
+    FadeStart { mbps: f64 },
+    /// Bandwidth fade ends: restore the pre-fade rate.
+    FadeEnd,
+    /// A background process reads `bytes` bytes from the disk.
+    DiskTouch { bytes: u64 },
+    /// Hand the policy a stale/corrupted replacement profile.
+    InjectProfile { mode: ProfileFaultMode },
+}
+
+/// Expand a fault plan into instant-anchored actions, stably sorted by
+/// onset (ties keep plan order — deterministic by construction).
+fn expand_faults(plan: &FaultPlan) -> Vec<(Dur, FaultAction)> {
+    let mut actions = Vec::new();
+    for f in &plan.faults {
+        match *f {
+            Fault::LinkOutage { at, dur } => {
+                let until = SimTime::ZERO + at + dur;
+                actions.push((at, FaultAction::LinkDown { until }));
+                actions.push((at + dur, FaultAction::LinkUp));
+            }
+            Fault::BandwidthFade { at, dur, mbps } => {
+                actions.push((at, FaultAction::FadeStart { mbps }));
+                actions.push((at + dur, FaultAction::FadeEnd));
+            }
+            Fault::ServerOutage { at, dur } => {
+                let until = SimTime::ZERO + at + dur;
+                actions.push((at, FaultAction::ServerDown { until }));
+                actions.push((at + dur, FaultAction::ServerUp));
+            }
+            Fault::DiskStorm {
+                at,
+                touches,
+                gap,
+                bytes,
+            } => {
+                for k in 0..u64::from(touches) {
+                    actions.push((at + gap * k, FaultAction::DiskTouch { bytes }));
+                }
+            }
+            Fault::ProfileFault { at, mode } => {
+                actions.push((at, FaultAction::InjectProfile { mode }));
+            }
+        }
+    }
+    actions.sort_by_key(|&(at, _)| at);
+    actions
 }
 
 type QueuedEvent = (SimTime, u64, EventKind);
@@ -118,6 +186,23 @@ struct Runner<'t, 'r> {
     events: BinaryHeap<Reverse<QueuedEvent>>,
     seq: u64,
     remaining_calls: usize,
+    // Fault injection.
+    /// Expanded fault actions, indexed by `EventKind::Fault`.
+    fault_actions: Vec<(Dur, FaultAction)>,
+    /// End of the current injected link outage, while one is active.
+    link_down_until: Option<SimTime>,
+    /// End of the current injected server outage, while one is active.
+    server_down_until: Option<SimTime>,
+    /// Set once a request exhausts the retry ladder: later hoarded
+    /// requests fail over to the disk immediately instead of re-walking
+    /// the ladder (the client remembers the server is dead).
+    server_marked_dead_until: Option<SimTime>,
+    /// Pre-fade bandwidths, pushed on fade start and popped on fade end
+    /// (a stack so nested fades restore in order).
+    fade_restore: Vec<BytesPerSec>,
+    faults_injected: u64,
+    fault_retries: u64,
+    fault_failovers: u64,
     // Stage tracking.
     observed: OnlineBurstBuilder,
     stage_index: usize,
@@ -223,6 +308,14 @@ impl<'t, 'r> Runner<'t, 'r> {
             events: BinaryHeap::new(),
             seq: 0,
             remaining_calls,
+            fault_actions: Vec::new(),
+            link_down_until: None,
+            server_down_until: None,
+            server_marked_dead_until: None,
+            fade_restore: Vec::new(),
+            faults_injected: 0,
+            fault_retries: 0,
+            fault_failovers: 0,
             observed: OnlineBurstBuilder::new(BurstExtractor::default()),
             stage_index: 0,
             stage_start: SimTime::ZERO,
@@ -246,6 +339,15 @@ impl<'t, 'r> Runner<'t, 'r> {
                 at: SimTime::ZERO,
                 index: 0,
             });
+        }
+        // Fault actions first: at equal timestamps a fault applies
+        // before the request it should affect (an outage starting at t
+        // covers a call issued at t, exactly like a static outage
+        // window, whose containment check is `now >= start`).
+        runner.fault_actions = expand_faults(&runner.cfg.faults);
+        for i in 0..runner.fault_actions.len() {
+            let at = runner.fault_actions[i].0;
+            runner.push_event(SimTime::ZERO + at, EventKind::Fault(i));
         }
         // Seed events: each pid's first call at its recorded start time,
         // plus the flusher and the first stage boundary.
@@ -277,12 +379,30 @@ impl<'t, 'r> Runner<'t, 'r> {
         self.events.push(Reverse((t, self.seq, kind)));
     }
 
-    /// Is the wireless link down at `now`?
+    /// Is the wireless link down at `now` — either inside a configured
+    /// outage window or while an injected [`Fault::LinkOutage`] is
+    /// active?
     fn wnic_out(&self, now: SimTime) -> bool {
-        self.cfg
+        self.link_down_until.is_some_and(|u| now < u)
+            || self
+                .cfg
+                .wnic_outages
+                .iter()
+                .any(|&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
+    }
+
+    /// Latest end of all outage windows (configured or injected) active
+    /// at `now` — when a stalled network-only request can resume.
+    fn wnic_resume(&self, now: SimTime) -> Option<SimTime> {
+        let static_end = self
+            .cfg
             .wnic_outages
             .iter()
-            .any(|&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
+            .filter(|&&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
+            .map(|&(_, e)| SimTime::ZERO + e)
+            .max();
+        let fault_end = self.link_down_until.filter(|&u| now < u);
+        static_end.into_iter().chain(fault_end).max()
     }
 
     /// Record one observability event (no-op unless a recorder is
@@ -348,6 +468,245 @@ impl<'t, 'r> Runner<'t, 'r> {
         self.decisions.extend(fresh);
     }
 
+    /// Tell the policy the environment changed, then surface any
+    /// decisions it took in response.
+    fn policy_fault(&mut self, now: SimTime, notice: FaultNotice) {
+        {
+            let Runner {
+                policy,
+                disk,
+                wnic,
+                layout,
+                cache,
+                ..
+            } = self;
+            let resident = |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+            let ctx = PolicyCtx {
+                now,
+                disk,
+                wnic,
+                layout,
+                resident: &resident,
+            };
+            policy.on_fault(&ctx, notice);
+        }
+        self.drain_decisions();
+    }
+
+    /// Apply one expanded fault action. State restores (link/server
+    /// back up, fade ending) always take effect so the run can never end
+    /// wedged in a fault; onsets are skipped once the workload has
+    /// drained (`remaining_calls == 0`) — they could no longer affect
+    /// anything and would only stretch device idle time.
+    fn apply_fault(&mut self, t: SimTime, idx: usize) {
+        let (_, action) = self.fault_actions[idx];
+        let live = self.remaining_calls > 0;
+        match action {
+            FaultAction::LinkDown { until } => {
+                if !live {
+                    return;
+                }
+                self.wnic.advance_to(t);
+                // Overlapping outages merge to the furthest end.
+                self.link_down_until = Some(self.link_down_until.map_or(until, |u| u.max(until)));
+                self.faults_injected += 1;
+                if self.tracing {
+                    self.emit(ObsEvent::LinkDown { at: t, until });
+                }
+                self.policy_fault(t, FaultNotice::LinkDown);
+            }
+            FaultAction::LinkUp => {
+                // Only the clear matching the merged window end lifts the
+                // outage (earlier clears of overlapped outages are moot).
+                if self.link_down_until.is_none_or(|u| t < u) {
+                    return;
+                }
+                self.link_down_until = None;
+                if !live {
+                    return;
+                }
+                self.wnic.advance_to(t);
+                if self.tracing {
+                    self.emit(ObsEvent::LinkUp { at: t });
+                }
+                self.policy_fault(t, FaultNotice::LinkUp);
+            }
+            FaultAction::ServerDown { until } => {
+                if !live {
+                    return;
+                }
+                self.server_down_until =
+                    Some(self.server_down_until.map_or(until, |u| u.max(until)));
+                self.faults_injected += 1;
+                if self.tracing {
+                    self.emit(ObsEvent::ServerDown { at: t, until });
+                }
+                self.policy_fault(t, FaultNotice::ServerDown);
+            }
+            FaultAction::ServerUp => {
+                if self.server_down_until.is_none_or(|u| t < u) {
+                    return;
+                }
+                self.server_down_until = None;
+                self.server_marked_dead_until = None;
+                if !live {
+                    return;
+                }
+                if self.tracing {
+                    self.emit(ObsEvent::ServerUp { at: t });
+                }
+                self.policy_fault(t, FaultNotice::ServerUp);
+            }
+            FaultAction::FadeStart { mbps } => {
+                if !live {
+                    return;
+                }
+                self.wnic.advance_to(t);
+                self.fade_restore.push(self.wnic.params().bandwidth);
+                self.wnic
+                    .set_bandwidth(BytesPerSec::from_mbit_per_sec(mbps));
+                self.faults_injected += 1;
+                if self.tracing {
+                    self.emit(ObsEvent::BandwidthChange { at: t, mbps });
+                }
+                self.policy_fault(t, FaultNotice::BandwidthChanged { mbps });
+            }
+            FaultAction::FadeEnd => {
+                let Some(restored) = self.fade_restore.pop() else {
+                    return;
+                };
+                self.wnic.advance_to(t);
+                self.wnic.set_bandwidth(restored);
+                if !live {
+                    return;
+                }
+                let mbps = restored.get() * 8.0 / 1e6;
+                if self.tracing {
+                    self.emit(ObsEvent::BandwidthChange { at: t, mbps });
+                }
+                self.policy_fault(t, FaultNotice::BandwidthChanged { mbps });
+            }
+            FaultAction::DiskTouch { bytes } => {
+                if !live {
+                    return;
+                }
+                self.faults_injected += 1;
+                // The storm is a real program: the policies learn about
+                // it exactly like any other external disk user, and the
+                // read occupies (and is billed to) the disk.
+                self.policy.on_external_disk(t);
+                let _ = self.service(t, Source::Disk, DeviceRequest::read(Bytes(bytes), None));
+                if self.tracing {
+                    self.emit(ObsEvent::ExternalDisk {
+                        at: t,
+                        bytes: Bytes(bytes),
+                    });
+                }
+            }
+            FaultAction::InjectProfile { mode } => {
+                if !live {
+                    return;
+                }
+                self.faults_injected += 1;
+                let profile = crate::faults::injected_profile(mode, self.trace);
+                {
+                    let Runner {
+                        policy,
+                        disk,
+                        wnic,
+                        layout,
+                        cache,
+                        ..
+                    } = self;
+                    let resident = |f: FileId, o: u64, l: Bytes| cache.resident_fraction(f, o, l);
+                    let ctx = PolicyCtx {
+                        now: t,
+                        disk,
+                        wnic,
+                        layout,
+                        resident: &resident,
+                    };
+                    policy.inject_profile(&ctx, profile);
+                }
+                self.drain_decisions();
+                if self.tracing {
+                    self.emit(ObsEvent::ProfileInjected {
+                        at: t,
+                        mode: mode.label(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Gate a WNIC-bound request through an active server outage: walk
+    /// the retry ladder (timeout → exponential backoff), and either
+    /// catch the server coming back, fail over to the disk (hoarded
+    /// data), or stall until the outage ends (network-only data).
+    /// Returns the time the request can actually be serviced and the
+    /// source that will serve it.
+    fn wnic_gate(&mut self, t: SimTime, hoarded: bool) -> (SimTime, Source) {
+        let Some(down_until) = self.server_down_until.filter(|&u| t < u) else {
+            return (t, Source::Wnic);
+        };
+        // An earlier request already exhausted the ladder: hoarded data
+        // fails over immediately (the client remembers the server is
+        // dead until it answers again).
+        if hoarded && self.server_marked_dead_until.is_some_and(|u| t < u) {
+            self.fault_failovers += 1;
+            return (t, Source::Disk);
+        }
+        let retry = self.cfg.retry;
+        let mut cur = t;
+        for attempt in 1..=retry.max_retries {
+            // The request sits on the wire until it times out.
+            cur = cur + retry.timeout;
+            self.wnic.advance_to(cur);
+            self.fault_retries += 1;
+            let wait = retry.backoff * (1u64 << (attempt - 1).min(16));
+            if self.tracing {
+                self.emit(ObsEvent::RequestRetry {
+                    at: cur,
+                    attempt,
+                    wait,
+                });
+            }
+            if cur >= down_until {
+                return (cur, Source::Wnic);
+            }
+            cur = cur + wait;
+            self.wnic.advance_to(cur);
+            if cur >= down_until {
+                return (cur, Source::Wnic);
+            }
+        }
+        self.fault_failovers += 1;
+        if hoarded {
+            self.server_marked_dead_until = Some(down_until);
+            if self.tracing {
+                self.emit(ObsEvent::Failover {
+                    at: cur,
+                    source: Source::Disk,
+                    reason: "server-timeout",
+                });
+            }
+            (cur, Source::Disk)
+        } else {
+            // No local copy exists: the request can only wait the
+            // outage out.
+            let resume = down_until.max(cur);
+            self.wnic.advance_to(resume);
+            if self.tracing {
+                self.emit(ObsEvent::Failover {
+                    at: cur,
+                    source: Source::Wnic,
+                    reason: "server-stall",
+                });
+            }
+            (resume, Source::Wnic)
+        }
+    }
+
     /// Route a request: pinned files always hit the disk and surface as
     /// external activity; non-hoarded files can only ride the WNIC;
     /// everything else asks the policy — overridden to the disk while
@@ -378,13 +737,7 @@ impl<'t, 'r> Runner<'t, 'r> {
                 // Not hoarded AND disconnected: the request stalls until
                 // the link returns — modelled as service at the outage
                 // end (the disk genuinely has no copy).
-                if let Some(resume) = self
-                    .cfg
-                    .wnic_outages
-                    .iter()
-                    .find(|&&(s, e)| now >= SimTime::ZERO + s && now < SimTime::ZERO + e)
-                    .map(|&(_, e)| SimTime::ZERO + e)
-                {
+                if let Some(resume) = self.wnic_resume(now) {
                     self.wnic.advance_to(resume);
                 }
                 return (Source::Wnic, false, "unhoarded-stall");
@@ -471,6 +824,15 @@ impl<'t, 'r> Runner<'t, 'r> {
         demand: &[(u64, u64)],
         prefetch: &[(u64, u64)],
     ) -> (SimTime, Joules) {
+        // A WNIC-bound fetch first clears the server: during an injected
+        // server outage it walks the retry ladder and may fail over to
+        // the disk (hoarded files) or stall (network-only files).
+        let (t, source) = if source == Source::Wnic && !(demand.is_empty() && prefetch.is_empty()) {
+            let hoarded = !self.cfg.network_only_files.contains(&file);
+            self.wnic_gate(t, hoarded)
+        } else {
+            (t, source)
+        };
         let mut app_done = t;
         let mut energy = Joules::ZERO;
 
@@ -619,6 +981,16 @@ impl<'t, 'r> Runner<'t, 'r> {
             } else {
                 source
             };
+            // Server outage: uploads walk the same ladder as fetches.
+            // After the first exhausted ladder the dead-server mark makes
+            // the rest of the batch fail over without re-paying it.
+            let (gated, src) = if src == Source::Wnic {
+                let hoarded = !self.cfg.network_only_files.contains(&run.0.file);
+                self.wnic_gate(cur, hoarded)
+            } else {
+                (cur, src)
+            };
+            cur = gated;
             let bytes = Bytes(run.1 * PAGE_SIZE);
             // Flash write buffering: a write aimed at a sleeping disk
             // parks in flash instead of forcing a spin-up.
@@ -917,6 +1289,16 @@ impl<'t, 'r> Runner<'t, 'r> {
                     self.wnic.advance_to(t);
                     self.wnic
                         .set_bandwidth(ff_base::BytesPerSec::from_mbit_per_sec(mbps));
+                    // Recorded for observability, but the policy is NOT
+                    // notified: scheduled drift (the user walking around)
+                    // is discovered by the §2.3.1 stage-end audit, unlike
+                    // injected fades which push a FaultNotice.
+                    if self.tracing {
+                        self.emit(ObsEvent::BandwidthChange { at: t, mbps });
+                    }
+                }
+                EventKind::Fault(i) => {
+                    self.apply_fault(t, i);
                 }
             }
             self.drain_device_events();
@@ -1001,6 +1383,9 @@ impl<'t, 'r> Runner<'t, 'r> {
             cache_misses: misses,
             cache_stats: self.cache.stats(),
             stages: self.stages_done,
+            faults_injected: self.faults_injected,
+            retries: self.fault_retries,
+            failovers: self.fault_failovers,
             recorded_profile: self.policy.recorded_profile(),
             decisions: self.decisions,
             stage_summaries: self.stage_summaries,
@@ -1475,6 +1860,167 @@ mod tests {
         let profile = report.recorded_profile.expect("FlexFetch must record");
         assert!(!profile.is_empty());
         assert_eq!(profile.app, "grep");
+    }
+
+    #[test]
+    fn injected_link_outage_fails_over_to_disk() {
+        use crate::faults::FaultPlan;
+        use ff_trace::Xmms;
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(120)),
+            ..Default::default()
+        }
+        .build(8);
+        let plan = FaultPlan::none().with_link_outage(Dur::ZERO, Dur::from_secs(100_000));
+        let report = Simulation::new(SimConfig::default().with_faults(plan), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert_eq!(report.wnic_requests, 0, "outage must block the WNIC");
+        assert!(report.disk_requests > 0);
+        assert_eq!(report.faults_injected, 1);
+        assert_eq!(report.app_requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn server_outage_walks_the_retry_ladder_then_fails_over() {
+        use crate::faults::{FaultPlan, RetryPolicy};
+        let trace = grep_small();
+        let plan = FaultPlan::none().with_server_outage(Dur::ZERO, Dur::from_secs(100_000));
+        let cfg = SimConfig::default()
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                timeout: Dur::from_millis(200),
+                backoff: Dur::from_millis(50),
+                max_retries: 3,
+            });
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        // The first WNIC-bound request exhausts the ladder, then the
+        // dead-server mark reroutes everything else without retrying.
+        assert_eq!(report.retries, 3, "one full ladder");
+        assert!(report.failovers > 0);
+        assert!(report.disk_requests > 0, "hoarded data fails over");
+        assert_eq!(report.wnic_requests, 0, "server never answers");
+        assert_eq!(report.app_requests, trace.len() as u64);
+    }
+
+    #[test]
+    fn server_recovery_mid_ladder_keeps_the_wnic() {
+        use crate::faults::{FaultPlan, RetryPolicy};
+        let trace = grep_small();
+        // A short outage: the first retry catches the server back up.
+        let plan = FaultPlan::none().with_server_outage(Dur::ZERO, Dur::from_millis(100));
+        let cfg = SimConfig::default()
+            .with_faults(plan)
+            .with_retry(RetryPolicy {
+                timeout: Dur::from_secs(2),
+                backoff: Dur::from_millis(500),
+                max_retries: 4,
+            });
+        let report = Simulation::new(cfg, &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert_eq!(report.failovers, 0, "recovery must beat the ladder");
+        assert!(report.retries >= 1, "the first attempt still timed out");
+        assert_eq!(report.disk_requests, 0);
+        assert!(report.wnic_requests > 0);
+    }
+
+    #[test]
+    fn disk_storm_spins_the_disk_and_counts_touches() {
+        use crate::faults::FaultPlan;
+        use ff_trace::Xmms;
+        // A workload long enough that every storm touch lands mid-run
+        // (onsets after the last app call are deliberately dropped).
+        let trace = Xmms {
+            play_limit: Some(Dur::from_secs(60)),
+            ..Default::default()
+        }
+        .build(8);
+        let plan =
+            FaultPlan::none().with_disk_storm(Dur::from_secs(1), 6, Dur::from_secs(2), 65_536);
+        let report = Simulation::new(SimConfig::default().with_faults(plan), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert_eq!(report.faults_injected, 6, "every touch lands");
+        assert!(
+            report.disk_requests >= 6,
+            "storm reads are real disk requests"
+        );
+        assert!(report.disk_bytes.get() >= 6 * 65_536);
+    }
+
+    #[test]
+    fn bandwidth_fade_restores_the_old_rate() {
+        use crate::faults::FaultPlan;
+        let trace = grep_small();
+        let fade = FaultPlan::none().with_bandwidth_fade(
+            Dur::from_millis(100),
+            Dur::from_secs(100_000),
+            0.5,
+        );
+        let faded = Simulation::new(SimConfig::default().with_faults(fade), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        let clean = Simulation::new(SimConfig::default(), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert!(
+            faded.exec_time > clean.exec_time,
+            "a 0.5 Mbps fade must slow the run: {} vs {}",
+            faded.exec_time,
+            clean.exec_time
+        );
+        // A fade that ends immediately leaves the run unchanged apart
+        // from rounding: the pre-fade bandwidth is restored.
+        let blip =
+            FaultPlan::none().with_bandwidth_fade(Dur::from_millis(1), Dur::from_millis(2), 0.5);
+        let blipped = Simulation::new(SimConfig::default().with_faults(blip), &trace)
+            .policy(PolicyKind::WnicOnly)
+            .run()
+            .unwrap();
+        assert!(
+            blipped.exec_time < clean.exec_time + Dur::from_secs(1),
+            "restored bandwidth must keep the run fast"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        use crate::faults::FaultPlan;
+        let trace = grep_small();
+        let plan = FaultPlan::seeded(42, Dur::from_secs(120));
+        let run = || {
+            Simulation::new(SimConfig::default().with_faults(plan.clone()), &trace)
+                .policy(PolicyKind::flexfetch(ff_profile::Profile::empty("grep")))
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_energy(), b.total_energy());
+        assert_eq!(a.exec_time, b.exec_time);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.failovers, b.failovers);
+        assert_eq!(a.faults_injected, b.faults_injected);
+    }
+
+    #[test]
+    fn degenerate_fault_plan_is_rejected_up_front() {
+        use crate::faults::FaultPlan;
+        let trace = grep_small();
+        let plan = FaultPlan::none().with_link_outage(Dur::ZERO, Dur::ZERO);
+        let err = Simulation::new(SimConfig::default().with_faults(plan), &trace)
+            .policy(PolicyKind::DiskOnly)
+            .run();
+        assert!(matches!(err, Err(Error::Fault(_))));
     }
 
     #[test]

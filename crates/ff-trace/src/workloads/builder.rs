@@ -72,9 +72,14 @@ impl TraceBuilder {
         id
     }
 
-    /// Size of a registered file.
+    /// Size of a registered file. Asking for an id this builder never
+    /// handed out is a workload-generator bug: debug builds assert,
+    /// release builds degrade to zero (the caller then emits no I/O for
+    /// the phantom file instead of aborting the simulation).
     pub fn file_size(&self, id: FileId) -> Bytes {
-        self.trace.files.get(id).expect("unregistered file").size
+        let size = self.trace.files.get(id).map(|m| m.size);
+        debug_assert!(size.is_some(), "unregistered file {id:?}");
+        size.unwrap_or(Bytes::ZERO)
     }
 
     /// Advance the clock without I/O (application think/compute time).

@@ -61,6 +61,10 @@ run_step "ff-lint (ratchet vs crates/ff-lint/baseline.json)" lint_step
 run_step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)" doc_step
 run_step "cargo build --release" cargo build --release
 run_step "cargo test -q" cargo test -q
+# The chaos suite already runs inside `cargo test -q`; naming it as its
+# own step keeps a visible, independently-failing signal for the
+# fault-injection robustness contract (DESIGN.md §12).
+run_step "chaos suite (fault-injection invariants)" cargo test -q --test chaos
 
 if (( ${#failed_steps[@]} > 0 )); then
     echo "==> ${#failed_steps[@]} check(s) FAILED:" >&2

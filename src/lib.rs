@@ -53,6 +53,8 @@ pub mod prelude {
     pub use ff_device::{DiskParams, WnicParams};
     pub use ff_policy::PolicyKind;
     pub use ff_profile::{Profile, Profiler};
-    pub use ff_sim::{SimConfig, SimReport, Simulation};
+    pub use ff_sim::{
+        EventLog, Fault, FaultPlan, ProfileFaultMode, RetryPolicy, SimConfig, SimReport, Simulation,
+    };
     pub use ff_trace::{Acroread, Grep, Make, Mplayer, Thunderbird, Trace, Workload, Xmms};
 }

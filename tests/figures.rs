@@ -34,7 +34,7 @@ fn four(scenario: &Scenario, cfg: SimConfig) -> (f64, f64, f64, f64) {
 
 #[test]
 fn fig1_low_latency_orderings() {
-    let s = Scenario::grep_make(42);
+    let s = Scenario::grep_make(42).unwrap();
     let (ff, bluefs, disk, wnic) = four(&s, SimConfig::default());
     // §3.3.1: FlexFetch wins; WNIC-only beats Disk-only at low latency;
     // BlueFS burns both devices and lands worst.
@@ -52,7 +52,7 @@ fn fig1_low_latency_orderings() {
 
 #[test]
 fn fig1_wnic_only_rises_with_latency() {
-    let s = Scenario::grep_make(42);
+    let s = Scenario::grep_make(42).unwrap();
     let lo = run(&s, PolicyKind::WnicOnly, SimConfig::default());
     let hi = run(
         &s,
@@ -69,7 +69,7 @@ fn fig1_wnic_only_rises_with_latency() {
 fn fig1_bandwidth_crossover() {
     // §3.3.1/Fig 1(b): at 1 Mbps WNIC-only exceeds Disk-only; FlexFetch
     // benefits monotonically from more bandwidth.
-    let s = Scenario::grep_make(42);
+    let s = Scenario::grep_make(42).unwrap();
     let cfg = |mbps: f64| SimConfig::default().with_wnic_bandwidth_mbps(mbps);
     let wnic_1 = run(&s, PolicyKind::WnicOnly, cfg(1.0));
     let disk_1 = run(&s, PolicyKind::DiskOnly, cfg(1.0));
@@ -93,7 +93,7 @@ fn fig1_bandwidth_crossover() {
 
 #[test]
 fn fig2_flexfetch_tracks_wnic_only() {
-    let s = Scenario::mplayer(42);
+    let s = Scenario::mplayer(42).unwrap();
     let (ff, bluefs, disk, wnic) = four(&s, SimConfig::default());
     // §3.3.2: FlexFetch ≈ WNIC-only (within 10 %); BlueFS even higher
     // than Disk-only; Disk-only wasteful for paced streaming.
@@ -113,7 +113,7 @@ fn fig2_flexfetch_tracks_wnic_only() {
 
 #[test]
 fn fig2_low_bandwidth_switches_to_disk() {
-    let s = Scenario::mplayer(42);
+    let s = Scenario::mplayer(42).unwrap();
     let cfg = SimConfig::default().with_wnic_bandwidth_mbps(1.0);
     let ff = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg.clone());
     let disk = run(&s, PolicyKind::DiskOnly, cfg.clone());
@@ -131,7 +131,7 @@ fn fig2_low_bandwidth_switches_to_disk() {
 
 #[test]
 fn fig3_orderings() {
-    let s = Scenario::thunderbird(42);
+    let s = Scenario::thunderbird(42).unwrap();
     let (ff, bluefs, disk, wnic) = four(&s, SimConfig::default());
     // §3.3.3: Disk-only expensive; FlexFetch below BlueFS (paper: 17 %);
     // WNIC-only below Disk-only at low latency.
@@ -149,7 +149,7 @@ fn fig3_orderings() {
 
 #[test]
 fn fig3_wnic_only_rises_toward_disk_only_with_latency() {
-    let s = Scenario::thunderbird(42);
+    let s = Scenario::thunderbird(42).unwrap();
     let lo = run(&s, PolicyKind::WnicOnly, SimConfig::default());
     let hi = run(
         &s,
@@ -171,7 +171,7 @@ fn fig3_wnic_only_rises_toward_disk_only_with_latency() {
 
 #[test]
 fn fig4_free_riding_beats_static() {
-    let s = Scenario::grep_make_xmms(42);
+    let s = Scenario::grep_make_xmms(42).unwrap();
     let cfg = SimConfig::default();
     let ff = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg.clone());
     let stat = run(
@@ -194,7 +194,7 @@ fn fig4_free_riding_beats_static() {
 
 #[test]
 fn fig4_curves_merge_at_low_bandwidth() {
-    let s = Scenario::grep_make_xmms(42);
+    let s = Scenario::grep_make_xmms(42).unwrap();
     let cfg = SimConfig::default().with_wnic_bandwidth_mbps(1.0);
     let ff = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg.clone());
     let stat = run(&s, PolicyKind::flexfetch_static(s.profile.clone()), cfg);
@@ -210,7 +210,7 @@ fn fig4_curves_merge_at_low_bandwidth() {
 
 #[test]
 fn fig5_invalid_profile_corrected_after_one_stage() {
-    let s = Scenario::acroread_invalid(42);
+    let s = Scenario::acroread_invalid(42).unwrap();
     let cfg = SimConfig::default().with_wnic_latency(Dur::from_millis(10));
     let ff = run(&s, PolicyKind::flexfetch(s.profile.clone()), cfg.clone());
     let stat = run(
@@ -240,7 +240,7 @@ fn extension_mobility_adaptation_beats_static() {
     // Mid-run degradation 11 -> 1 Mbps: adaptive FlexFetch must flip to
     // the disk at a stage boundary and beat both its static variant and
     // WNIC-only.
-    let s = Scenario::mplayer(42);
+    let s = Scenario::mplayer(42).unwrap();
     let cfg = || {
         s.configure(SimConfig::default())
             .with_bandwidth_change(Dur::from_secs(120), 1.0)
@@ -262,7 +262,7 @@ fn extension_mobility_adaptation_beats_static() {
 
 #[test]
 fn fig5_decision_flips_exactly_at_first_stage_boundary() {
-    let s = Scenario::acroread_invalid(42);
+    let s = Scenario::acroread_invalid(42).unwrap();
     let report = Simulation::new(s.configure(SimConfig::default()), &s.trace)
         .policy(PolicyKind::flexfetch(s.profile.clone()))
         .run()

@@ -55,6 +55,29 @@ fn determinism_family_is_fully_burned_down() {
 }
 
 #[test]
+fn panic_safety_family_is_fully_burned_down() {
+    // The fault-injection work burned the last `unwrap()`/`expect()`
+    // debt out of non-test library code; this gate keeps the family at
+    // zero — empty in the baseline AND empty in the tree — so any new
+    // panic site in lib code fails tier-1 instead of ratcheting.
+    let root = workspace_root();
+    let baseline = committed_baseline(&root);
+    assert!(
+        baseline.is_empty_for(Rule::PanicSafety),
+        "the panic-safety family must have an empty baseline"
+    );
+    let (findings, _) = ff_lint::collect_findings(&root).expect("scan succeeds");
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::PanicSafety)
+        .collect();
+    assert!(
+        hits.is_empty(),
+        "unwrap/expect/panic! in library code: {hits:?}"
+    );
+}
+
+#[test]
 fn model_invariants_hold_for_the_paper_tables() {
     let root = workspace_root();
     let (findings, _) = ff_lint::collect_findings(&root).expect("scan succeeds");

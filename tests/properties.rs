@@ -56,6 +56,54 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
         })
 }
 
+/// Strategy: one random-but-valid fault (every variant reachable via
+/// the leading kind selector).
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    (
+        (0u32..5, 0u64..30_000_000, 100_000u64..15_000_000),
+        (
+            1u64..=11,
+            1u32..8,
+            100_000u64..4_000_000,
+            4096u64..1_000_000,
+        ),
+        any::<bool>(),
+    )
+        .prop_map(
+            |((kind, at, dur), (mbps_steps, touches, gap, bytes), corrupt)| {
+                let (at, dur) = (Dur(at), Dur(dur));
+                match kind {
+                    0 => Fault::LinkOutage { at, dur },
+                    1 => Fault::BandwidthFade {
+                        at,
+                        dur,
+                        mbps: mbps_steps as f64 * 0.5,
+                    },
+                    2 => Fault::ServerOutage { at, dur },
+                    3 => Fault::DiskStorm {
+                        at,
+                        touches,
+                        gap: Dur(gap),
+                        bytes,
+                    },
+                    _ => Fault::ProfileFault {
+                        at,
+                        mode: if corrupt {
+                            ProfileFaultMode::Corrupt
+                        } else {
+                            ProfileFaultMode::Stale
+                        },
+                    },
+                }
+            },
+        )
+}
+
+/// Strategy: a random fault schedule of up to 4 overlapping faults.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    proptest::collection::vec(arb_fault(), 0..4).prop_map(|faults| FaultPlan { faults })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -82,6 +130,43 @@ proptest! {
         let requested = trace.total_bytes().get();
         let worst = 2 * requested + (r.app_requests * 2 + 64) * 4096 + 32 * 4096 * r.app_requests;
         prop_assert!(fetched <= worst, "fetched {} > bound {}", fetched, worst);
+    }
+
+    /// Random fault schedules: replay never panics, never loses a
+    /// request, stays consistent, and remains bit-deterministic — under
+    /// every policy, including FlexFetch-static.
+    #[test]
+    fn faulted_simulation_invariants(
+        trace in arb_trace(),
+        plan in arb_fault_plan(),
+        policy_id in 0usize..5,
+    ) {
+        prop_assume!(trace.validate().is_ok());
+        let kind = || match policy_id {
+            0 => PolicyKind::DiskOnly,
+            1 => PolicyKind::WnicOnly,
+            2 => PolicyKind::BlueFs,
+            3 => PolicyKind::flexfetch(Profiler::standard().profile(&trace)),
+            _ => PolicyKind::flexfetch_static(Profiler::standard().profile(&trace)),
+        };
+        let run = || {
+            Simulation::new(SimConfig::default().with_faults(plan.clone()), &trace)
+                .policy(kind())
+                .run()
+                .unwrap()
+        };
+        let r = run();
+        // Conservation: every traced request is served, fault or no fault.
+        prop_assert_eq!(r.app_requests, trace.len() as u64);
+        prop_assert!(r.total_energy().is_valid());
+        prop_assert!(r.total_energy().get() > 0.0);
+        // A failover can only follow at least one timed-out attempt.
+        prop_assert!(r.failovers == 0 || r.retries > 0);
+        let b = run();
+        prop_assert_eq!(r.total_energy(), b.total_energy());
+        prop_assert_eq!(r.exec_time, b.exec_time);
+        prop_assert_eq!(r.retries, b.retries);
+        prop_assert_eq!(r.failovers, b.failovers);
     }
 
     /// Replay is bit-deterministic.
