@@ -1,0 +1,89 @@
+//! `chaostrace` — export fault-injection event streams for the
+//! static↔dynamic conformance pass.
+//!
+//! Replays two seeded server-outage schedules with an event recorder
+//! attached and writes one JSONL trace each into `--out-dir` (default
+//! `bench/`):
+//!
+//! * `chaos_ladder.jsonl` — a server outage long enough for a fast
+//!   retry ladder to exhaust, walking the server-path machine through
+//!   `healthy → down → dead → healthy`;
+//! * `chaos_outage.jsonl` — a short outage the default ladder rides
+//!   out, walking `healthy → down → healthy`.
+//!
+//! Both runs use the WNIC-only policy so the Aironet 350 machine
+//! cycles between CAM and PSM as well. `ff-lint`'s trace-conformance
+//! family replays these files against the extracted state machines;
+//! output is byte-identical across runs with the same seed.
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin chaostrace -- [--seed 42] [--out-dir bench]
+//! ```
+
+use ff_base::Dur;
+use ff_bench::observe::{build_policy, build_workload};
+use ff_sim::{EventLog, FaultPlan, RetryPolicy, SimConfig, Simulation};
+use std::path::PathBuf;
+
+fn main() {
+    let mut seed: u64 = 42;
+    let mut out_dir = PathBuf::from("bench");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out-dir" => out_dir = PathBuf::from(args.next().expect("--out-dir needs a path")),
+            other => {
+                eprintln!("unknown flag {other}; usage: chaostrace [--seed N] [--out-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A 3 s outage from t=0 against a 300 ms/100 ms/3-attempt ladder:
+    // the first request exhausts the ladder (dead), the outage end
+    // recovers the path (healthy).
+    let ladder_plan = FaultPlan::none().with_server_outage(Dur::ZERO, Dur::from_secs(3));
+    let fast_ladder = RetryPolicy {
+        timeout: Dur::from_millis(300),
+        backoff: Dur::from_millis(100),
+        max_retries: 3,
+    };
+    // A 2 s outage the default 15.5 s ladder rides out: the path goes
+    // down and comes straight back without being marked dead.
+    let outage_plan =
+        FaultPlan::none().with_server_outage(Dur::from_millis(500), Dur::from_secs(2));
+
+    std::fs::create_dir_all(&out_dir).expect("create out dir");
+    let runs: [(&str, FaultPlan, Option<RetryPolicy>); 2] = [
+        ("chaos_ladder", ladder_plan, Some(fast_ladder)),
+        ("chaos_outage", outage_plan, None),
+    ];
+    for (name, plan, retry) in runs {
+        let trace = build_workload("grep", seed).expect("grep workload builds");
+        let policy = build_policy("wnic", "grep", seed).expect("wnic policy builds");
+        let mut config = SimConfig::default().with_faults(plan);
+        if let Some(retry) = retry {
+            config = config.with_retry(retry);
+        }
+        let mut log = EventLog::new();
+        let report = Simulation::new(config, &trace)
+            .policy(policy)
+            .run_recorded(&mut log)
+            .expect("chaos runs must not fail");
+        let path = out_dir.join(format!("{name}.jsonl"));
+        std::fs::write(&path, log.to_jsonl()).expect("write jsonl");
+        eprintln!(
+            "wrote {} ({} events, {} retries, {} failovers)",
+            path.display(),
+            log.len(),
+            report.retries,
+            report.failovers
+        );
+    }
+}

@@ -136,16 +136,27 @@ impl Baseline {
                     line: 0,
                     msg: "baseline entry missing `count`".into(),
                 })?;
+            // A zero count is an empty family entry: it accepts
+            // nothing and only adds diff noise, so it is dropped on
+            // load exactly as `to_json` drops it on write — loading
+            // and re-serialising a baseline is idempotent.
+            if count == 0 {
+                continue;
+            }
             entries.insert((field("rule")?, field("file")?, field("token")?), count);
         }
         Ok(Baseline { entries })
     }
 
-    /// Serialise to the committed JSON form (sorted, stable output).
+    /// Serialise to the committed JSON form: entries sorted by
+    /// `(rule, file, token)` (the `BTreeMap` order), zero-count
+    /// entries dropped, so regenerating an unchanged tree is
+    /// byte-identical and regenerated baselines diff cleanly.
     pub fn to_json(&self) -> String {
         let entries: Vec<Value> = self
             .entries
             .iter()
+            .filter(|(_, count)| **count > 0)
             .map(|((rule, file, token), count)| {
                 Value::Object(vec![
                     ("rule".into(), Value::Str(rule.clone())),
@@ -264,5 +275,32 @@ mod tests {
         assert!(Baseline::parse("{}").is_err());
         assert!(Baseline::parse("{\"entries\": [{\"rule\": \"x\"}]}").is_err());
         assert!(Baseline::parse("not json").is_err());
+    }
+
+    #[test]
+    fn zero_count_entries_are_dropped_on_load_and_write() {
+        let text = "{\"version\": 1, \"entries\": [\
+            {\"rule\": \"hygiene\", \"file\": \"b.rs\", \"token\": \"TODO\", \"count\": 1},\
+            {\"rule\": \"fsm\", \"file\": \"a.rs\", \"token\": \"dead\", \"count\": 0}\
+        ]}";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.len(), 1, "the empty family entry must be dropped");
+        assert!(!b.to_json().contains("\"fsm\""));
+    }
+
+    #[test]
+    fn double_regeneration_is_byte_identical() {
+        // The --update-baseline contract: serialise, parse, serialise
+        // again — the two documents must match byte for byte, so a
+        // regenerated baseline never churns the committed file.
+        let fs = [
+            finding(Rule::Hygiene, "z.rs", "TODO", 1),
+            finding(Rule::PanicSafety, "a.rs", ".unwrap()", 3),
+            finding(Rule::PanicSafety, "a.rs", ".unwrap()", 9),
+            finding(Rule::Determinism, "m.rs", "HashMap", 2),
+        ];
+        let first = Baseline::from_findings(&fs).to_json();
+        let second = Baseline::parse(&first).expect("parses").to_json();
+        assert_eq!(first, second);
     }
 }

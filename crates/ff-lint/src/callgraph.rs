@@ -131,13 +131,23 @@ pub struct CallSite<'a> {
 }
 
 impl Graph {
-    /// Build the graph over every non-test fn in library files.
+    /// Build the graph over every non-test fn in library files of the
+    /// simulation dependency closure (`GRAPH_CRATES`).
     pub fn build(sources: &[SourceFile], trees: &[ItemTree]) -> Graph {
+        Graph::build_for(sources, trees, &GRAPH_CRATES)
+    }
+
+    /// Build the graph over every non-test fn in library files of the
+    /// named crates. Analyses that need a wider closure than the
+    /// panic-reachability pass (e.g. the nondeterminism taint, which
+    /// must see the bench driver's report pipeline) pass their own
+    /// crate list here.
+    pub fn build_for(sources: &[SourceFile], trees: &[ItemTree], crates: &[&str]) -> Graph {
         let mut g = Graph::default();
         // Pass 1: register all fn nodes by simple name.
         for (fi, tree) in trees.iter().enumerate() {
             if sources[fi].kind != FileKind::Lib
-                || !GRAPH_CRATES.contains(&sources[fi].crate_name.as_str())
+                || !crates.contains(&sources[fi].crate_name.as_str())
             {
                 continue;
             }
@@ -164,7 +174,7 @@ impl Graph {
         // Pass 2: scan bodies for calls and panic sites.
         for (fi, tree) in trees.iter().enumerate() {
             if sources[fi].kind != FileKind::Lib
-                || !GRAPH_CRATES.contains(&sources[fi].crate_name.as_str())
+                || !crates.contains(&sources[fi].crate_name.as_str())
             {
                 continue;
             }

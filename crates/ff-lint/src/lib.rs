@@ -54,19 +54,41 @@
 //!     meter event names must exist, and `ff-sim` must still drain and
 //!     re-emit them as `DeviceTransition` record events.
 //!
+//! A third wave ([`product`], [`taint`], [`conformance`]) moves from
+//! checking each machine and each line to proving the *composed*
+//! system model:
+//!
+//! 13. **fsm-product** — the explicit cross-product automaton of every
+//!     extracted machine (disk × WNIC × server path), exhaustively
+//!     explored: no simultaneous deadlock, no emergent-unreachable
+//!     tuple, every degraded server-path state recovers to healthy,
+//!     backoff ladders are clamped and bounded, and powered-off states
+//!     are only left through their power-up edge.
+//! 14. **nondet-taint** — interprocedural nondeterminism taint over a
+//!     widened call graph: wall-clock reads, env access, and
+//!     unsanitised hash iteration may not flow — through any chain of
+//!     helpers — into `SimReport`, recorder output, or bench JSON.
+//! 15. **trace-conformance** — the committed observe/chaos JSONL
+//!     traces replayed against the product model: every runtime
+//!     transition must be a static edge, and never-exercised static
+//!     edges surface as machine-readable coverage debt.
+//!
 //! Findings ratchet against a committed [`baseline`]: the run fails only
 //! on findings the baseline does not accept, so existing debt is
 //! tracked without blocking the build, while regressions are.
 
 pub mod baseline;
 pub mod callgraph;
+pub mod conformance;
 pub mod consts;
 pub mod coverage;
 pub mod dataflow;
 pub mod fsm;
 pub mod items;
+pub mod product;
 pub mod rules;
 pub mod scan;
+pub mod taint;
 pub mod units;
 
 pub use baseline::{Baseline, Delta};
@@ -90,6 +112,10 @@ pub struct Report {
     /// State machines extracted by the [`fsm`] analysis, whether or not
     /// they produced findings.
     pub fsm_tables: Vec<fsm::FsmTable>,
+    /// The explored cross-product automaton.
+    pub product: product::ProductGraph,
+    /// Trace-replay coverage from the [`conformance`] pass.
+    pub trace_coverage: conformance::Coverage,
 }
 
 impl Report {
@@ -213,6 +239,11 @@ impl Report {
                 ),
             ])
         };
+        let runtime_only = self
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::TraceConformance && f.token.starts_with("runtime-only:"))
+            .count() as u64;
         let doc = Value::Object(vec![
             (
                 "summary".into(),
@@ -233,6 +264,11 @@ impl Report {
             (
                 "fsm".into(),
                 Value::Array(self.fsm_tables.iter().map(fsm_node).collect()),
+            ),
+            ("product".into(), self.product.summary_json_value()),
+            (
+                "conformance".into(),
+                self.trace_coverage.to_json_value(runtime_only),
             ),
             ("new".into(), Value::Array(new)),
             (
@@ -264,6 +300,10 @@ pub struct Analysis {
     pub findings: Vec<Finding>,
     /// State machines the [`fsm`] analysis extracted.
     pub fsm_tables: Vec<fsm::FsmTable>,
+    /// The explored cross-product automaton (for `--export-product`).
+    pub product: product::ProductGraph,
+    /// Trace-replay coverage from the [`conformance`] pass.
+    pub trace_coverage: conformance::Coverage,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -289,12 +329,19 @@ pub fn analyze(root: &Path) -> Result<Analysis> {
     findings.extend(dataflow::analyze(&sources, &trees));
     findings.extend(consts::analyze(&sources));
     findings.extend(coverage::analyze(&sources, &trees, &fsm_tables));
+    let (product, product_findings) = product::analyze(&sources, &fsm_tables);
+    findings.extend(product_findings);
+    findings.extend(taint::analyze(&sources, &trees));
+    let (trace_coverage, conformance_findings) = conformance::analyze(root, &fsm_tables);
+    findings.extend(conformance_findings);
     findings.sort_by(|a, b| {
         (a.rule, &a.file, a.line, &a.token).cmp(&(b.rule, &b.file, b.line, &b.token))
     });
     Ok(Analysis {
         findings,
         fsm_tables,
+        product,
+        trace_coverage,
         files_scanned: sources.len(),
     })
 }
@@ -314,6 +361,8 @@ pub fn run(root: &Path, baseline: &Baseline) -> Result<Report> {
         delta,
         files_scanned: analysis.files_scanned,
         fsm_tables: analysis.fsm_tables,
+        product: analysis.product,
+        trace_coverage: analysis.trace_coverage,
     })
 }
 
@@ -352,6 +401,8 @@ mod tests {
             delta,
             files_scanned: analysis.files_scanned,
             fsm_tables: analysis.fsm_tables,
+            product: analysis.product,
+            trace_coverage: analysis.trace_coverage,
         };
         assert!(report.is_clean());
         let table = report.to_table();
@@ -362,6 +413,10 @@ mod tests {
             doc.get("summary").and_then(|s| s.get("clean")),
             Some(&ff_base::json::Value::Bool(true))
         );
+        // The third-wave nodes are part of the document contract.
+        let product = doc.get("product").expect("product node");
+        assert!(product.get("reachable").is_some());
+        assert!(doc.get("conformance").is_some());
     }
 
     #[test]

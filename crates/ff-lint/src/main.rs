@@ -3,13 +3,15 @@
 //! ```text
 //! cargo run -p ff-lint -- [--json] [--github] [--families] [--root PATH]
 //!                         [--baseline PATH] [--update-baseline] [--forbid-stale]
+//!                         [--sarif PATH] [--export-product PATH]
 //! ```
 //!
 //! Exit codes: `0` clean (no findings beyond the baseline), `1` new
 //! findings (or, under `--forbid-stale`, a stale baseline), `2` usage
 //! or I/O error.
 
-use ff_lint::{default_baseline_path, default_root, Baseline, Rule};
+use ff_base::json::Value;
+use ff_lint::{default_baseline_path, default_root, Baseline, Report, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,6 +23,8 @@ struct Args {
     baseline: Option<PathBuf>,
     update_baseline: bool,
     forbid_stale: bool,
+    sarif: Option<PathBuf>,
+    export_product: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +36,8 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         update_baseline: false,
         forbid_stale: false,
+        sarif: None,
+        export_product: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -49,6 +55,14 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--baseline requires a path")?,
                 ));
             }
+            "--sarif" => {
+                args.sarif = Some(PathBuf::from(it.next().ok_or("--sarif requires a path")?));
+            }
+            "--export-product" => {
+                args.export_product = Some(PathBuf::from(
+                    it.next().ok_or("--export-product requires a path")?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -63,7 +77,8 @@ ff-lint: static analysis for the FlexFetch workspace
 
 USAGE:
     ff-lint [--json] [--github] [--families] [--root PATH] [--baseline PATH]
-            [--update-baseline] [--forbid-stale]
+            [--update-baseline] [--forbid-stale] [--sarif PATH]
+            [--export-product PATH]
 
 OPTIONS:
     --json              emit the machine-readable JSON report on stdout
@@ -75,6 +90,11 @@ OPTIONS:
     --update-baseline   rewrite the baseline to accept the current state
     --forbid-stale      fail when the baseline lists debt that no longer
                         exists (it is stale relative to --update-baseline)
+    --sarif PATH        also write a SARIF 2.1.0 document for GitHub code
+                        scanning (new findings as errors, baselined as notes)
+    --export-product PATH
+                        also write the explored product-state automaton
+                        (components, alphabet, reachability, recoveries)
 ";
 
 fn main() -> ExitCode {
@@ -152,6 +172,23 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(path) = &args.sarif {
+        let mut text = to_sarif(&report).to_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("ff-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &args.export_product {
+        let mut text = report.product.to_json_value().to_pretty();
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("ff-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
     if args.json {
         print!("{}", report.to_json());
     } else {
@@ -196,4 +233,90 @@ fn gha_escape(s: &str) -> String {
     s.replace('%', "%25")
         .replace('\r', "%0D")
         .replace('\n', "%0A")
+}
+
+/// Render the report as a SARIF 2.1.0 document for GitHub code
+/// scanning. Findings beyond the baseline are `error`-level results;
+/// baselined debt is included at `note` level so the scanning UI shows
+/// the full inventory without failing the upload.
+fn to_sarif(report: &Report) -> Value {
+    let new: Vec<&ff_lint::Finding> = report
+        .delta
+        .new
+        .iter()
+        .flat_map(|(_, _, members)| members.iter())
+        .collect();
+    let rules: Vec<Value> = Rule::all()
+        .into_iter()
+        .map(|r| {
+            Value::Object(vec![
+                ("id".into(), Value::Str(r.as_str().into())),
+                ("name".into(), Value::Str(r.as_str().replace('-', "_"))),
+            ])
+        })
+        .collect();
+    let results: Vec<Value> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let level = if new.iter().any(|n| *n == f) {
+                "error"
+            } else {
+                "note"
+            };
+            Value::Object(vec![
+                ("ruleId".into(), Value::Str(f.rule.as_str().into())),
+                ("level".into(), Value::Str(level.into())),
+                (
+                    "message".into(),
+                    Value::Object(vec![(
+                        "text".into(),
+                        Value::Str(format!("{} [{}]", f.message, f.token)),
+                    )]),
+                ),
+                (
+                    "locations".into(),
+                    Value::Array(vec![Value::Object(vec![(
+                        "physicalLocation".into(),
+                        Value::Object(vec![
+                            (
+                                "artifactLocation".into(),
+                                Value::Object(vec![("uri".into(), Value::Str(f.file.clone()))]),
+                            ),
+                            (
+                                "region".into(),
+                                Value::Object(vec![(
+                                    "startLine".into(),
+                                    Value::UInt(f.line.max(1) as u64),
+                                )]),
+                            ),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "$schema".into(),
+            Value::Str("https://json.schemastore.org/sarif-2.1.0.json".into()),
+        ),
+        ("version".into(), Value::Str("2.1.0".into())),
+        (
+            "runs".into(),
+            Value::Array(vec![Value::Object(vec![
+                (
+                    "tool".into(),
+                    Value::Object(vec![(
+                        "driver".into(),
+                        Value::Object(vec![
+                            ("name".into(), Value::Str("ff-lint".into())),
+                            ("rules".into(), Value::Array(rules)),
+                        ]),
+                    )]),
+                ),
+                ("results".into(), Value::Array(results)),
+            ])]),
+        ),
+    ])
 }

@@ -1,0 +1,636 @@
+//! Product-state model checking over the extracted FSM tables.
+//!
+//! The [`fsm`](crate::fsm) pass checks each `match self.state` machine
+//! in isolation; this pass composes every extracted table into one
+//! explicit cross-product automaton (DiskState × WnicState ×
+//! ServerPathState on the real tree) under interleaving semantics —
+//! one component moves per step, matching how the simulator serialises
+//! `device_state`/`server_path` events — and checks the temporal
+//! properties the paper's energy argument rests on:
+//!
+//! * **product-deadlock** — no reachable product state may strand the
+//!   whole system (every component simultaneously without a non-self
+//!   exit);
+//! * **product-unreachable** — no emergent dead tuple: a combination of
+//!   individually-reachable component states the product can never
+//!   enter (possible only under synchronised semantics, checked so a
+//!   future synchronisation does not rot silently);
+//! * **no-recovery** — every degraded server-path state must have a
+//!   path back to the healthy state;
+//! * **powered-exit** — a powered-off component state (disk `Standby`,
+//!   WNIC `Psm`) may only be left through its documented power-up
+//!   transition, so no energy-accruing edge escapes a powered-off
+//!   state;
+//! * **unclamped-backoff / unbounded-ladder** — retry backoff
+//!   arithmetic must be clamped (`<<` under a `.min(…)`) and ladder
+//!   walks must be bounded loops.
+//!
+//! Besides findings, the pass exports the explored [`ProductGraph`] so
+//! the CLI can write `results/fsm-product.json` and the conformance
+//! pass can report coverage against the same model.
+
+use crate::fsm::FsmTable;
+use crate::rules::{Finding, Rule};
+use crate::scan::{FileKind, SourceFile};
+use ff_base::json::Value;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Product exploration is capped well above the real tree's 60 states;
+/// a pathological fixture beyond the cap is reported as capped instead
+/// of exploding.
+const STATE_CAP: u64 = 250_000;
+
+/// The event alphabet the product automaton is observed through — the
+/// `ev` kinds `ff-sim::record` serialises for state changes.
+pub const EVENT_ALPHABET: [&str; 3] = ["device_state", "device_transition", "server_path"];
+
+/// Degraded component states that must be able to recover: for each
+/// enum, the states the fault layer can enter and the healthy state a
+/// path must lead back to.
+const DEGRADED: [(&str, &[&str], &str); 1] =
+    [("ServerPathState", &["Down", "MarkedDead"], "Healthy")];
+
+/// Powered-off component states and the only transition target allowed
+/// to leave them (the power-up edge). Any other exit would accrue
+/// energy out of a state the model bills as off.
+const POWERED_OFF: [(&str, &str, &str); 2] = [
+    ("DiskState", "Standby", "SpinningUp"),
+    ("WnicState", "Psm", "ToCam"),
+];
+
+/// One degraded-state recovery verdict, kept for the exported graph.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Component enum name.
+    pub component: String,
+    /// The degraded state.
+    pub state: String,
+    /// The healthy state a path must reach.
+    pub healthy: String,
+    /// Whether such a path exists.
+    pub recovers: bool,
+}
+
+/// The explored cross-product automaton, exported as
+/// `results/fsm-product.json` and summarised in the JSON report.
+#[derive(Debug, Clone, Default)]
+pub struct ProductGraph {
+    /// The component tables composed into the product.
+    pub components: Vec<FsmTable>,
+    /// Total product states (cartesian size).
+    pub states: u64,
+    /// States reachable from the initial set.
+    pub reachable: u64,
+    /// Distinct product transitions out of reachable states.
+    pub transitions: u64,
+    /// True when the cartesian size exceeded the exploration cap.
+    pub capped: bool,
+    /// Recovery verdicts for the degraded states.
+    pub recoveries: Vec<Recovery>,
+}
+
+impl ProductGraph {
+    /// The compact `product` node of the JSON report: exploration
+    /// stats and recovery verdicts (the component tables are already
+    /// in the report's `fsm` array).
+    pub fn summary_json_value(&self) -> Value {
+        let recovery = |r: &Recovery| {
+            Value::Object(vec![
+                ("component".into(), Value::Str(r.component.clone())),
+                ("state".into(), Value::Str(r.state.clone())),
+                ("healthy".into(), Value::Str(r.healthy.clone())),
+                ("recovers".into(), Value::Bool(r.recovers)),
+            ])
+        };
+        Value::Object(vec![
+            ("states".into(), Value::UInt(self.states)),
+            ("reachable".into(), Value::UInt(self.reachable)),
+            ("transitions".into(), Value::UInt(self.transitions)),
+            ("capped".into(), Value::Bool(self.capped)),
+            (
+                "recoveries".into(),
+                Value::Array(self.recoveries.iter().map(recovery).collect()),
+            ),
+        ])
+    }
+
+    /// The exported JSON document (components, alphabet, exploration
+    /// stats, recovery verdicts). Deterministic field order.
+    pub fn to_json_value(&self) -> Value {
+        let table = |t: &FsmTable| {
+            Value::Object(vec![
+                ("file".into(), Value::Str(t.file.clone())),
+                ("enum".into(), Value::Str(t.enum_name.clone())),
+                (
+                    "states".into(),
+                    Value::Array(t.states.iter().map(|s| Value::Str(s.clone())).collect()),
+                ),
+                (
+                    "initial".into(),
+                    Value::Array(t.initial.iter().map(|s| Value::Str(s.clone())).collect()),
+                ),
+                (
+                    "transitions".into(),
+                    Value::Array(
+                        t.transitions
+                            .iter()
+                            .map(|tr| {
+                                Value::Object(vec![
+                                    ("from".into(), Value::Str(tr.from.clone())),
+                                    ("to".into(), Value::Str(tr.to.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let recovery = |r: &Recovery| {
+            Value::Object(vec![
+                ("component".into(), Value::Str(r.component.clone())),
+                ("state".into(), Value::Str(r.state.clone())),
+                ("healthy".into(), Value::Str(r.healthy.clone())),
+                ("recovers".into(), Value::Bool(r.recovers)),
+            ])
+        };
+        Value::Object(vec![
+            (
+                "alphabet".into(),
+                Value::Array(
+                    EVENT_ALPHABET
+                        .iter()
+                        .map(|s| Value::Str((*s).into()))
+                        .collect(),
+                ),
+            ),
+            (
+                "components".into(),
+                Value::Array(self.components.iter().map(table).collect()),
+            ),
+            (
+                "product".into(),
+                Value::Object(vec![
+                    ("states".into(), Value::UInt(self.states)),
+                    ("reachable".into(), Value::UInt(self.reachable)),
+                    ("transitions".into(), Value::UInt(self.transitions)),
+                    ("capped".into(), Value::Bool(self.capped)),
+                ]),
+            ),
+            (
+                "recoveries".into(),
+                Value::Array(self.recoveries.iter().map(recovery).collect()),
+            ),
+        ])
+    }
+}
+
+/// Per-component view used during exploration: state names resolved to
+/// indices, adjacency as index pairs.
+struct Component {
+    states: Vec<String>,
+    /// Outgoing edges per state index (deduped, sorted).
+    edges: Vec<Vec<usize>>,
+    initial: Vec<usize>,
+}
+
+impl Component {
+    fn from_table(t: &FsmTable) -> Component {
+        let index: BTreeMap<&str, usize> = t
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.as_str(), i))
+            .collect();
+        let mut edges = vec![BTreeSet::new(); t.states.len()];
+        for tr in &t.transitions {
+            if let (Some(&f), Some(&to)) = (index.get(tr.from.as_str()), index.get(tr.to.as_str()))
+            {
+                edges[f].insert(to);
+            }
+        }
+        let mut initial: Vec<usize> = t
+            .initial
+            .iter()
+            .filter_map(|s| index.get(s.as_str()).copied())
+            .collect();
+        // A table without a recognised initial state (struct literal not
+        // found) starts anywhere: assume every state initial rather
+        // than silently proving properties of an empty reachable set.
+        if initial.is_empty() {
+            initial = (0..t.states.len()).collect();
+        }
+        Component {
+            states: t.states.clone(),
+            edges: edges.into_iter().map(|s| s.into_iter().collect()).collect(),
+            initial,
+        }
+    }
+
+    /// Can `to` be reached from `from` along component edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut seen = vec![false; self.states.len()];
+        let mut queue = VecDeque::from([from]);
+        seen[from] = true;
+        while let Some(s) = queue.pop_front() {
+            if s == to {
+                return true;
+            }
+            for &n in &self.edges[s] {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push_back(n);
+                }
+            }
+        }
+        false
+    }
+
+    /// Does the state have any exit besides a self-loop?
+    fn has_exit(&self, s: usize) -> bool {
+        self.edges[s].iter().any(|&n| n != s)
+    }
+}
+
+/// Render a product tuple as `Idle×Psm×Healthy`.
+fn render(components: &[Component], tuple: &[usize]) -> String {
+    tuple
+        .iter()
+        .zip(components)
+        .map(|(&s, c)| c.states[s].clone())
+        .collect::<Vec<_>>()
+        .join("\u{d7}")
+}
+
+/// Compose the tables, explore the product, and check the temporal
+/// properties. Returns the explored graph (for export) and findings.
+pub fn analyze(sources: &[SourceFile], tables: &[FsmTable]) -> (ProductGraph, Vec<Finding>) {
+    let mut findings = Vec::new();
+    let mut graph = ProductGraph {
+        components: tables.to_vec(),
+        ..ProductGraph::default()
+    };
+
+    let components: Vec<Component> = tables.iter().map(Component::from_table).collect();
+    let total: u64 = components
+        .iter()
+        .map(|c| c.states.len() as u64)
+        .try_fold(1u64, u64::checked_mul)
+        .unwrap_or(u64::MAX);
+    graph.states = if components.is_empty() { 0 } else { total };
+
+    if !components.is_empty() && total <= STATE_CAP {
+        explore(tables, &components, &mut graph, &mut findings);
+    } else if total > STATE_CAP {
+        graph.capped = true;
+    }
+
+    degraded_recovery(tables, &components, &mut graph, &mut findings);
+    powered_exits(tables, &mut findings);
+    backoff_bounds(sources, &mut findings);
+
+    findings.sort_by(|a, b| {
+        (a.rule, &a.file, a.line, &a.token).cmp(&(b.rule, &b.file, b.line, &b.token))
+    });
+    (graph, findings)
+}
+
+/// BFS over the product from the cartesian initial set; record stats
+/// and report deadlocked or emergent-unreachable product states.
+fn explore(
+    tables: &[FsmTable],
+    components: &[Component],
+    graph: &mut ProductGraph,
+    findings: &mut Vec<Finding>,
+) {
+    let mut initial: Vec<Vec<usize>> = vec![Vec::new()];
+    for c in components {
+        let mut next = Vec::new();
+        for prefix in &initial {
+            for &s in &c.initial {
+                let mut tuple = prefix.clone();
+                tuple.push(s);
+                next.push(tuple);
+            }
+        }
+        initial = next;
+    }
+
+    let mut reached: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut queue: VecDeque<Vec<usize>> = VecDeque::new();
+    for tuple in initial {
+        if reached.insert(tuple.clone()) {
+            queue.push_back(tuple);
+        }
+    }
+    let mut edges: BTreeSet<(Vec<usize>, Vec<usize>)> = BTreeSet::new();
+    while let Some(tuple) = queue.pop_front() {
+        for (i, c) in components.iter().enumerate() {
+            for &n in &c.edges[tuple[i]] {
+                let mut next = tuple.clone();
+                next[i] = n;
+                edges.insert((tuple.clone(), next.clone()));
+                if reached.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    graph.reachable = reached.len() as u64;
+    graph.transitions = edges.len() as u64;
+
+    // Property checks on the explored set. Deadlock needs the product
+    // view (>= 2 components): a single machine's stuck states are the
+    // per-machine fsm family's verdict, not this one's.
+    let anchor_file = tables.first().map(|t| t.file.clone()).unwrap_or_default();
+    if components.len() >= 2 {
+        for tuple in &reached {
+            let stuck = tuple.iter().zip(components).all(|(&s, c)| !c.has_exit(s));
+            if stuck {
+                findings.push(Finding {
+                    rule: Rule::ProductFsm,
+                    file: anchor_file.clone(),
+                    line: 0,
+                    token: format!("deadlock:{}", render(components, tuple)),
+                    message: "reachable product state with no non-self exit in any component"
+                        .to_owned(),
+                });
+            }
+        }
+        // Emergent unreachability: tuples of individually-reached
+        // component states the product never enters.
+        let projections: Vec<BTreeSet<usize>> = (0..components.len())
+            .map(|i| reached.iter().map(|t| t[i]).collect())
+            .collect();
+        let mut tuples: Vec<Vec<usize>> = vec![Vec::new()];
+        for proj in &projections {
+            let mut next = Vec::new();
+            for prefix in &tuples {
+                for &s in proj {
+                    let mut tuple = prefix.clone();
+                    tuple.push(s);
+                    next.push(tuple);
+                }
+            }
+            tuples = next;
+        }
+        for tuple in tuples {
+            if !reached.contains(&tuple) {
+                findings.push(Finding {
+                    rule: Rule::ProductFsm,
+                    file: anchor_file.clone(),
+                    line: 0,
+                    token: format!("unreachable:{}", render(components, &tuple)),
+                    message: "product state of individually-reachable component states is \
+                              never entered"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+/// Every degraded state of a registered component must reach its
+/// healthy state along component edges.
+fn degraded_recovery(
+    tables: &[FsmTable],
+    components: &[Component],
+    graph: &mut ProductGraph,
+    findings: &mut Vec<Finding>,
+) {
+    for (ti, table) in tables.iter().enumerate() {
+        let Some(&(_, degraded, healthy)) = DEGRADED
+            .iter()
+            .find(|(name, _, _)| *name == table.enum_name)
+        else {
+            continue;
+        };
+        let c = &components[ti];
+        let Some(hi) = c.states.iter().position(|s| s == healthy) else {
+            continue;
+        };
+        for name in degraded {
+            let Some(di) = c.states.iter().position(|s| s == *name) else {
+                continue;
+            };
+            let recovers = c.reaches(di, hi);
+            graph.recoveries.push(Recovery {
+                component: table.enum_name.clone(),
+                state: (*name).to_owned(),
+                healthy: healthy.to_owned(),
+                recovers,
+            });
+            if !recovers {
+                findings.push(Finding {
+                    rule: Rule::ProductFsm,
+                    file: table.file.clone(),
+                    line: 0,
+                    token: format!("no-recovery:{}::{name}", table.enum_name),
+                    message: format!(
+                        "degraded state {name} has no path back to {healthy}; a fault would \
+                         strand the server path"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Powered-off states may only be left through their power-up edge.
+fn powered_exits(tables: &[FsmTable], findings: &mut Vec<Finding>) {
+    for table in tables {
+        for &(enum_name, off, power_up) in &POWERED_OFF {
+            if table.enum_name != enum_name {
+                continue;
+            }
+            for tr in &table.transitions {
+                if tr.from == off && tr.to != off && tr.to != power_up {
+                    findings.push(Finding {
+                        rule: Rule::ProductFsm,
+                        file: table.file.clone(),
+                        line: tr.line,
+                        token: format!("powered-exit:{enum_name}::{off}->{}", tr.to),
+                        message: format!(
+                            "transition leaves powered-off state {off} without passing through \
+                             {power_up}; energy would accrue out of an off state"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Backoff arithmetic must be clamped and ladder walks bounded.
+fn backoff_bounds(sources: &[SourceFile], findings: &mut Vec<Finding>) {
+    for file in sources {
+        if file.kind != FileKind::Lib || file.crate_name != "ff-sim" {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test || !line.code.contains("backoff") {
+                continue;
+            }
+            if line.code.contains("<<") && !line.code.contains(".min(") {
+                findings.push(Finding {
+                    rule: Rule::ProductFsm,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    token: "unclamped-backoff".to_owned(),
+                    message: "exponential backoff shift without a .min(…) clamp can overflow \
+                              and unbound the ladder"
+                        .to_owned(),
+                });
+            }
+            let t = line.code.trim_start();
+            if t.starts_with("while ") || t.starts_with("loop ") || t.starts_with("loop{") {
+                findings.push(Finding {
+                    rule: Rule::ProductFsm,
+                    file: file.rel_path.clone(),
+                    line: idx + 1,
+                    token: "unbounded-ladder".to_owned(),
+                    message: "backoff ladder walked in an open loop; use a bounded range over \
+                              max_retries"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::{FsmTable, Transition};
+
+    fn table(
+        enum_name: &str,
+        states: &[&str],
+        initial: &[&str],
+        edges: &[(&str, &str)],
+    ) -> FsmTable {
+        FsmTable {
+            file: format!("crates/x/src/{}.rs", enum_name.to_lowercase()),
+            enum_name: enum_name.to_owned(),
+            states: states.iter().map(|s| (*s).to_owned()).collect(),
+            initial: initial.iter().map(|s| (*s).to_owned()).collect(),
+            transitions: edges
+                .iter()
+                .enumerate()
+                .map(|(i, (f, t))| Transition {
+                    from: (*f).to_owned(),
+                    to: (*t).to_owned(),
+                    line: i + 1,
+                })
+                .collect(),
+        }
+    }
+
+    fn server(edges: &[(&str, &str)]) -> FsmTable {
+        table(
+            "ServerPathState",
+            &["Healthy", "Down", "MarkedDead"],
+            &["Healthy"],
+            edges,
+        )
+    }
+
+    #[test]
+    fn healthy_server_path_recovers_and_is_clean() {
+        let t = server(&[
+            ("Healthy", "Down"),
+            ("Down", "Healthy"),
+            ("Down", "MarkedDead"),
+            ("MarkedDead", "Healthy"),
+        ]);
+        let (graph, findings) = analyze(&[], &[t]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(graph.recoveries.iter().all(|r| r.recovers));
+        assert_eq!(graph.states, 3);
+        assert_eq!(graph.reachable, 3);
+    }
+
+    #[test]
+    fn missing_recovery_edge_is_reported() {
+        let t = server(&[
+            ("Healthy", "Down"),
+            ("Down", "Healthy"),
+            ("Down", "MarkedDead"),
+            ("MarkedDead", "MarkedDead"),
+        ]);
+        let (graph, findings) = analyze(&[], &[t]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.token == "no-recovery:ServerPathState::MarkedDead"),
+            "{findings:?}"
+        );
+        assert!(graph.recoveries.iter().any(|r| !r.recovers));
+    }
+
+    #[test]
+    fn product_of_healthy_machines_is_fully_reachable() {
+        let disk = table(
+            "CacheState",
+            &["Idle", "Standby"],
+            &["Idle"],
+            &[("Idle", "Standby"), ("Standby", "Idle")],
+        );
+        let wnic = table(
+            "LinkState",
+            &["Cam", "Psm"],
+            &["Cam"],
+            &[("Cam", "Psm"), ("Psm", "Cam")],
+        );
+        let (graph, findings) = analyze(&[], &[disk, wnic]);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(graph.states, 4);
+        assert_eq!(graph.reachable, 4);
+        assert!(!graph.capped);
+    }
+
+    #[test]
+    fn simultaneous_deadlock_is_reported() {
+        // Both machines can step into a sink state; the product state
+        // (SinkA, SinkB) strands the whole system.
+        let a = table("A", &["Run", "SinkA"], &["Run"], &[("Run", "SinkA")]);
+        let b = table("B", &["Run", "SinkB"], &["Run"], &[("Run", "SinkB")]);
+        let (_, findings) = analyze(&[], &[a, b]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.token == "deadlock:SinkA\u{d7}SinkB"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn powered_off_exit_must_be_the_power_up_edge() {
+        let disk = table(
+            "DiskState",
+            &["Idle", "Standby", "SpinningUp"],
+            &["Idle"],
+            &[
+                ("Idle", "Standby"),
+                ("Standby", "SpinningUp"),
+                ("Standby", "Idle"),
+                ("SpinningUp", "Idle"),
+            ],
+        );
+        let (_, findings) = analyze(&[], &[disk]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.token == "powered-exit:DiskState::Standby->Idle"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn exported_graph_serialises_with_alphabet() {
+        let t = server(&[("Healthy", "Down"), ("Down", "Healthy")]);
+        let (graph, _) = analyze(&[], &[t]);
+        let json = graph.to_json_value().to_pretty();
+        assert!(json.contains("server_path"), "{json}");
+        assert!(json.contains("ServerPathState"), "{json}");
+    }
+}

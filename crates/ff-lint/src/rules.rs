@@ -1,4 +1,4 @@
-//! The twelve rule families.
+//! The fifteen rule families.
 //!
 //! Every rule emits [`Finding`]s keyed by `(rule, file, token)`. Line
 //! numbers are reported for humans but are *not* part of the baseline
@@ -48,6 +48,19 @@ pub enum Rule {
     /// observability layer (a `StateMeter` record near the assignment,
     /// drained into `record::Event` by the simulator).
     EventCoverage,
+    /// The cross-product automaton of every extracted state machine
+    /// (disk × WNIC × server path) must be deadlock-free, fully
+    /// reachable, recover from every degraded state, keep backoff
+    /// ladders bounded, and never leave a powered-off component state
+    /// except through its powered-transition edge.
+    ProductFsm,
+    /// Interprocedural nondeterminism taint: no wall-clock read, env
+    /// access, or unordered-map iteration may flow (through any chain
+    /// of helpers) into `SimReport`, recorder output, or bench JSON.
+    NondetTaint,
+    /// Replayed observe/chaos JSONL traces must only take transitions
+    /// the static product automaton contains.
+    TraceConformance,
 }
 
 impl Rule {
@@ -66,11 +79,14 @@ impl Rule {
             Rule::UnitFlowInterproc => "unit-flow-interproc",
             Rule::ConstProvenance => "const-provenance",
             Rule::EventCoverage => "event-coverage",
+            Rule::ProductFsm => "fsm-product",
+            Rule::NondetTaint => "nondet-taint",
+            Rule::TraceConformance => "trace-conformance",
         }
     }
 
     /// All families, in report order.
-    pub fn all() -> [Rule; 12] {
+    pub fn all() -> [Rule; 15] {
         [
             Rule::Determinism,
             Rule::PanicSafety,
@@ -84,6 +100,9 @@ impl Rule {
             Rule::UnitFlowInterproc,
             Rule::ConstProvenance,
             Rule::EventCoverage,
+            Rule::ProductFsm,
+            Rule::NondetTaint,
+            Rule::TraceConformance,
         ]
     }
 

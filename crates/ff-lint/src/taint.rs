@@ -1,0 +1,416 @@
+//! Interprocedural nondeterminism taint.
+//!
+//! The per-line determinism rule (family 1) greps the simulation
+//! crates for wall-clock reads, ambient RNGs and unordered-map types;
+//! laundering the value through a helper in a crate the grep does not
+//! cover defeats it. This pass upgrades the check to a flow-sensitive
+//! analysis over the workspace call graph: a **source** is a fn whose
+//! body reads `Instant::now`/`SystemTime`, the process environment, an
+//! ambient RNG, spawns threads, or iterates a `HashMap`/`HashSet`
+//! without sorting the result before returning; a **sink** is a fn
+//! that feeds the replay-stable artefacts (`SimReport`, recorder
+//! `.record(…)` output, JSONL export). Any call path from a sink to a
+//! source is a finding: the artefact could observe nondeterminism and
+//! break byte-identical replay.
+//!
+//! Hash iteration followed by a `.sort…` call later in the same fn is
+//! treated as sanitised — the canonical pattern in
+//! `ff-trace::strace_import`, which drains its maps into a vector and
+//! sorts before anything escapes.
+
+use crate::callgraph::{Graph, NodeId};
+use crate::items::ItemTree;
+use crate::rules::{Finding, Rule};
+use crate::scan::{FileKind, SourceFile};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The crates whose fns participate in the taint graph: the simulation
+/// dependency closure plus the bench driver, which owns the JSON
+/// export pipeline the panic-reachability graph deliberately excludes.
+pub const TAINT_CRATES: [&str; 8] = [
+    "ff-base",
+    "ff-bench",
+    "ff-cache",
+    "ff-device",
+    "ff-policy",
+    "ff-profile",
+    "ff-sim",
+    "ff-trace",
+];
+
+/// Direct nondeterminism tokens: substring, source kind, explanation.
+const SOURCE_TOKENS: [(&str, &str, &str); 6] = [
+    (
+        "Instant::now(",
+        "wall-clock",
+        "reads the monotonic wall clock",
+    ),
+    ("SystemTime", "wall-clock", "reads the system wall clock"),
+    (
+        "thread_rng(",
+        "ambient-rng",
+        "draws from the OS-seeded ambient RNG",
+    ),
+    ("env::var(", "env", "reads the process environment"),
+    ("env::vars(", "env", "reads the process environment"),
+    (
+        "thread::spawn(",
+        "thread",
+        "spawns a thread; interleaving is nondeterministic",
+    ),
+];
+
+/// Sink tokens: a fn whose body mentions one of these feeds the
+/// replay-stable artefacts.
+const SINK_TOKENS: [&str; 3] = ["SimReport", ".record(", "to_jsonl"];
+
+/// Method suffixes that iterate a map/set in unspecified order.
+const ITER_SUFFIXES: [&str; 5] = [".iter()", ".keys()", ".values()", ".drain(", ".into_iter()"];
+
+/// One nondeterminism source inside a fn body.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Source {
+    kind: &'static str,
+    line: usize,
+    what: String,
+}
+
+/// Identifiers in a file bound to a `HashMap`/`HashSet` (struct fields
+/// and let-bindings; `use` lines and fn signatures are skipped).
+fn hash_bindings(file: &SourceFile) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim();
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        if code.starts_with("use ") || code.contains("fn ") {
+            continue;
+        }
+        let lhs = code.split('=').next().unwrap_or(code).trim();
+        let lhs = lhs.strip_prefix("pub ").unwrap_or(lhs);
+        let lhs = lhs.strip_prefix("let ").unwrap_or(lhs);
+        let lhs = lhs.strip_prefix("mut ").unwrap_or(lhs);
+        let name: String = lhs
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && name != "HashMap" && name != "HashSet" {
+            out.insert(name);
+        }
+    }
+    out
+}
+
+/// Does the line iterate `ident` (method iteration or a `for … in`
+/// over the collection itself)?
+fn iterates(code: &str, ident: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(off) = code[search..].find(ident) {
+        let pos = search + off;
+        let boundary =
+            pos == 0 || !(bytes[pos - 1].is_ascii_alphanumeric() || bytes[pos - 1] == b'_');
+        let after = &code[pos + ident.len()..];
+        if boundary && ITER_SUFFIXES.iter().any(|s| after.starts_with(s)) {
+            return true;
+        }
+        search = pos + ident.len();
+    }
+    if code.contains("for ") {
+        for prefix in [" in ", " in &", " in &mut ", " in self.", " in &self."] {
+            let pat = format!("{prefix}{ident}");
+            if let Some(pos) = code.find(&pat) {
+                let end = pos + pat.len();
+                let next = bytes.get(end).copied();
+                if !matches!(next, Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Sources in one fn body: direct tokens plus unsanitised hash
+/// iteration (no `.sort…` between the iteration and the fn end).
+fn body_sources(
+    file: &SourceFile,
+    hash_idents: &BTreeSet<String>,
+    body_start: usize,
+    body_end: usize,
+) -> Vec<Source> {
+    let mut out = Vec::new();
+    for line_no in body_start..=body_end {
+        let Some(line) = file.lines.get(line_no - 1) else {
+            continue;
+        };
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for &(token, kind, _) in &SOURCE_TOKENS {
+            if code.contains(token) {
+                out.push(Source {
+                    kind,
+                    line: line_no,
+                    what: token.trim_end_matches('(').to_owned(),
+                });
+            }
+        }
+        for ident in hash_idents {
+            if !iterates(code, ident) {
+                continue;
+            }
+            let sanitised = (line_no..=body_end).any(|n| {
+                file.lines
+                    .get(n - 1)
+                    .is_some_and(|l| !l.in_test && l.code.contains(".sort"))
+            });
+            if !sanitised {
+                out.push(Source {
+                    kind: "hash-iteration",
+                    line: line_no,
+                    what: format!("{ident} iteration"),
+                });
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The first sink token a fn body mentions, if any.
+fn body_sink(file: &SourceFile, body_start: usize, body_end: usize) -> Option<&'static str> {
+    for line_no in body_start..=body_end {
+        let Some(line) = file.lines.get(line_no - 1) else {
+            continue;
+        };
+        if line.in_test {
+            continue;
+        }
+        for token in SINK_TOKENS {
+            if line.code.contains(token) {
+                return Some(token);
+            }
+        }
+    }
+    None
+}
+
+/// Run the taint pass: build the widened call graph, classify every fn
+/// as source/sink, and report each sink that can transitively observe
+/// a source.
+pub fn analyze(sources: &[SourceFile], trees: &[ItemTree]) -> Vec<Finding> {
+    let graph = Graph::build_for(sources, trees, &TAINT_CRATES);
+    let hash_idents: Vec<BTreeSet<String>> = sources.iter().map(hash_bindings).collect();
+
+    let mut fn_sources: BTreeMap<NodeId, Vec<Source>> = BTreeMap::new();
+    let mut sinks: Vec<(NodeId, &'static str)> = Vec::new();
+    for (&node, _) in &graph.calls {
+        let (fi, ii) = node;
+        let Some(item) = trees[fi].items.get(ii) else {
+            continue;
+        };
+        if item.body_start == 0 {
+            continue;
+        }
+        let file = &sources[fi];
+        if file.kind != FileKind::Lib {
+            continue;
+        }
+        let found = body_sources(file, &hash_idents[fi], item.body_start, item.body_end);
+        if !found.is_empty() {
+            fn_sources.insert(node, found);
+        }
+        if let Some(token) = body_sink(file, item.body_start, item.body_end) {
+            sinks.push((node, token));
+        }
+    }
+
+    let mut findings = Vec::new();
+    for (sink, sink_token) in sinks {
+        // BFS from the sink over callee edges: anything it calls
+        // (transitively) contributes data it may serialise.
+        let mut parent: BTreeMap<NodeId, NodeId> = BTreeMap::new();
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        let mut queue = VecDeque::from([sink]);
+        seen.insert(sink);
+        let mut reported: BTreeSet<&'static str> = BTreeSet::new();
+        while let Some(node) = queue.pop_front() {
+            if let Some(found) = fn_sources.get(&node) {
+                for src in found {
+                    if !reported.insert(src.kind) {
+                        continue;
+                    }
+                    findings.push(report(trees, sources, sink, sink_token, node, src, &parent));
+                }
+            }
+            for &callee in graph.calls.get(&node).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(callee) {
+                    parent.insert(callee, node);
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.rule, &a.file, a.line, &a.token).cmp(&(b.rule, &b.file, b.line, &b.token))
+    });
+    findings
+}
+
+/// Render one sink→source flow as a finding anchored at the sink.
+fn report(
+    trees: &[ItemTree],
+    sources: &[SourceFile],
+    sink: NodeId,
+    sink_token: &str,
+    at: NodeId,
+    src: &Source,
+    parent: &BTreeMap<NodeId, NodeId>,
+) -> Finding {
+    let name = |node: NodeId| -> String {
+        let (fi, ii) = node;
+        trees[fi]
+            .items
+            .get(ii)
+            .map(|i| i.qualified_name(&trees[fi].items))
+            .unwrap_or_default()
+    };
+    let mut chain = vec![at];
+    let mut cur = at;
+    while let Some(&p) = parent.get(&cur) {
+        chain.push(p);
+        cur = p;
+    }
+    chain.reverse();
+    let path: Vec<String> = chain.iter().map(|&n| name(n)).collect();
+    let (sink_fi, sink_ii) = sink;
+    let sink_item = &trees[sink_fi].items[sink_ii];
+    Finding {
+        rule: Rule::NondetTaint,
+        file: sources[sink_fi].rel_path.clone(),
+        line: sink_item.decl_line,
+        token: format!("{}<-{}", sink_item.name, src.kind),
+        message: format!(
+            "report sink `{}` ({sink_token}) can observe nondeterministic {} ({}, {}:{}) via {}",
+            name(sink),
+            src.kind,
+            src.what,
+            sources[at.0].rel_path,
+            src.line,
+            path.join(" -> "),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::scan::{preprocess, SourceFile};
+
+    fn source_file(rel_path: &str, text: &str) -> SourceFile {
+        let crate_name = rel_path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_owned();
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            crate_name,
+            kind: FileKind::Lib,
+            lines: preprocess(text),
+        }
+    }
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let sources: Vec<SourceFile> = files.iter().map(|(p, t)| source_file(p, t)).collect();
+        let trees = items::build(&sources);
+        analyze(&sources, &trees)
+    }
+
+    const LAUNDERED: &str = "\
+pub struct SimReport {
+    pub lines: Vec<String>,
+}
+
+fn checksum() -> u64 {
+    let mut counts: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    counts.insert(1, 2);
+    let mut total = 0;
+    for (k, v) in counts.iter() {
+        total = total * 31 + k + v;
+    }
+    total
+}
+
+pub fn render() -> SimReport {
+    let mut report = SimReport { lines: Vec::new() };
+    report.lines.push(format!(\"{}\", checksum()));
+    report
+}
+";
+
+    #[test]
+    fn hash_iteration_laundered_through_a_helper_is_caught() {
+        let findings = run(&[("crates/ff-bench/src/export.rs", LAUNDERED)]);
+        assert!(
+            findings.iter().any(|f| f.token == "render<-hash-iteration"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sorted_iteration_is_sanitised() {
+        let clean = LAUNDERED.replace(
+            "    for (k, v) in counts.iter() {\n        total = total * 31 + k + v;\n    }\n",
+            "    let mut pairs: Vec<(u64, u64)> = counts.iter().map(|(k, v)| (*k, *v)).collect();\n    pairs.sort();\n    for (k, v) in pairs {\n        total = total * 31 + k + v;\n    }\n",
+        );
+        let findings = run(&[("crates/ff-bench/src/export.rs", &clean)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn wall_clock_behind_two_helpers_reaches_the_recorder() {
+        let text = "\
+fn now_us() -> u64 {
+    let t = std::time::Instant::now();
+    0
+}
+
+fn stamp() -> u64 {
+    now_us()
+}
+
+pub fn emit(log: &mut Vec<String>) {
+    log.record(stamp());
+}
+";
+        let findings = run(&[("crates/ff-sim/src/rec.rs", text)]);
+        assert!(
+            findings.iter().any(|f| f.token == "emit<-wall-clock"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn sink_without_a_path_to_a_source_is_clean() {
+        let text = "\
+fn stable() -> u64 {
+    7
+}
+
+pub fn emit(log: &mut Vec<String>) {
+    log.record(stable());
+}
+";
+        let findings = run(&[("crates/ff-sim/src/rec.rs", text)]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,44 @@
+//! Server-path failover machine — clean twin of `product_mutant.rs`.
+//! Here `MarkedDead` transitions straight back to `Healthy` once the
+//! path probe succeeds, satisfying the product checker's obligation
+//! that every degraded state recovers.
+
+pub enum ServerPathState {
+    Healthy,
+    Down(SimTime),
+    MarkedDead(SimTime),
+}
+
+pub struct PathTracker {
+    state: ServerPathState,
+}
+
+impl PathTracker {
+    pub fn new() -> Self {
+        PathTracker {
+            state: ServerPathState::Healthy,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        match self.state {
+            ServerPathState::Healthy => {
+                self.meter.transition(self.outage_cost);
+                self.state = ServerPathState::Down(now);
+            }
+            ServerPathState::Down(since) => {
+                if self.ladder_exhausted(now, since) {
+                    self.meter.transition(self.failover_cost);
+                    self.state = ServerPathState::MarkedDead(now);
+                } else {
+                    self.meter.transition(self.recovery_cost);
+                    self.state = ServerPathState::Healthy;
+                }
+            }
+            ServerPathState::MarkedDead(since) => {
+                self.meter.transition(self.recovery_cost);
+                self.state = ServerPathState::Healthy;
+            }
+        }
+    }
+}

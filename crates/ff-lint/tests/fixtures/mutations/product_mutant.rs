@@ -1,0 +1,52 @@
+//! Server-path failover machine — mutant twin. This file is a lint
+//! fixture (placed at `crates/ff-policy/src/failover.rs` of a synthetic
+//! tree), never compiled. The defect: `MarkedDead` detours through a
+//! `Drained` state and back, so the degraded state can never recover to
+//! `Healthy` — every plain FSM property (reachability, exhaustiveness,
+//! liveness) still holds, and only the product checker's temporal
+//! recovery obligation catches it.
+
+pub enum ServerPathState {
+    Healthy,
+    Down(SimTime),
+    MarkedDead(SimTime),
+    Drained,
+}
+
+pub struct PathTracker {
+    state: ServerPathState,
+}
+
+impl PathTracker {
+    pub fn new() -> Self {
+        PathTracker {
+            state: ServerPathState::Healthy,
+        }
+    }
+
+    fn advance_to(&mut self, now: SimTime) {
+        match self.state {
+            ServerPathState::Healthy => {
+                self.meter.transition(self.outage_cost);
+                self.state = ServerPathState::Down(now);
+            }
+            ServerPathState::Down(since) => {
+                if self.ladder_exhausted(now, since) {
+                    self.meter.transition(self.failover_cost);
+                    self.state = ServerPathState::MarkedDead(now);
+                } else {
+                    self.meter.transition(self.recovery_cost);
+                    self.state = ServerPathState::Healthy;
+                }
+            }
+            ServerPathState::MarkedDead(since) => {
+                self.meter.transition(self.drain_cost);
+                self.state = ServerPathState::Drained;
+            }
+            ServerPathState::Drained => {
+                self.meter.transition(self.requeue_cost);
+                self.state = ServerPathState::MarkedDead(now);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Bench summary export — clean twin of `taint_mutant.rs`. The digest
+//! helper drains the map into a vector and sorts it before folding, so
+//! the value reaching the `SimReport` sink is replay-stable.
+
+pub struct SimReport {
+    pub lines: Vec<String>,
+}
+
+fn digest() -> u64 {
+    let mut cells: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    cells.insert(String::from("grep"), 7);
+    let mut pairs: Vec<(String, u64)> = cells.drain().collect();
+    pairs.sort();
+    let mut acc = 0;
+    for (_, v) in pairs {
+        acc = acc.rotate_left(7) ^ v;
+    }
+    acc
+}
+
+pub fn render() -> SimReport {
+    let mut report = SimReport { lines: Vec::new() };
+    report.lines.push(format!("{}", digest()));
+    report
+}

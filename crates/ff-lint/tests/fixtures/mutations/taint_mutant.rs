@@ -1,0 +1,26 @@
+//! Bench summary export — mutant twin. This file is a lint fixture
+//! (placed at `crates/ff-bench/src/export.rs` of a synthetic tree),
+//! never compiled. The defect: the digest helper folds a `HashMap` in
+//! arbitrary iteration order and its result is laundered through a
+//! plain call into the `SimReport` sink, which the per-line determinism
+//! grep cannot see — only the interprocedural taint pass connects them.
+
+pub struct SimReport {
+    pub lines: Vec<String>,
+}
+
+fn digest() -> u64 {
+    let mut cells: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    cells.insert(String::from("grep"), 7);
+    let mut acc = 0;
+    for (_, v) in cells.iter() {
+        acc = acc.rotate_left(7) ^ v;
+    }
+    acc
+}
+
+pub fn render() -> SimReport {
+    let mut report = SimReport { lines: Vec::new() };
+    report.lines.push(format!("{}", digest()));
+    report
+}

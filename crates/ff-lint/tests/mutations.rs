@@ -22,6 +22,12 @@ const COVERAGE_MUTANT: &str = include_str!("fixtures/mutations/coverage_mutant.r
 const COVERAGE_CLEAN: &str = include_str!("fixtures/mutations/coverage_clean.rs");
 const FSM_ARM_MUTANT: &str = include_str!("fixtures/mutations/fsm_arm_mutant.rs");
 const FSM_ARM_CLEAN: &str = include_str!("fixtures/mutations/fsm_arm_clean.rs");
+const PRODUCT_MUTANT: &str = include_str!("fixtures/mutations/product_mutant.rs");
+const PRODUCT_CLEAN: &str = include_str!("fixtures/mutations/product_clean.rs");
+const TAINT_MUTANT: &str = include_str!("fixtures/mutations/taint_mutant.rs");
+const TAINT_CLEAN: &str = include_str!("fixtures/mutations/taint_clean.rs");
+const CONFORMANCE_MUTANT: &str = include_str!("fixtures/mutations/conformance_mutant.jsonl");
+const CONFORMANCE_CLEAN: &str = include_str!("fixtures/mutations/conformance_clean.jsonl");
 
 /// The real constant registry, copied into trees that carry ff-device
 /// sources so the provenance family's registry-drift gate sees the
@@ -53,12 +59,15 @@ fn tokens(dir: &PathBuf, rule: Rule) -> Vec<String> {
         .collect()
 }
 
-/// The three semantic families introduced together; the per-pair tests
+/// The semantic families with mutation twins; the per-pair tests
 /// assert that a mutant trips its own family and none of the others.
-const SEMANTIC: [Rule; 3] = [
+const SEMANTIC: [Rule; 6] = [
     Rule::UnitFlowInterproc,
     Rule::ConstProvenance,
     Rule::EventCoverage,
+    Rule::ProductFsm,
+    Rule::NondetTaint,
+    Rule::TraceConformance,
 ];
 
 fn assert_only(dir: &PathBuf, fired: Rule, expected: &[&str]) {
@@ -133,6 +142,65 @@ fn event_coverage_fires_on_its_mutant_only() {
     let clean = temp_tree(
         "coverage-clean",
         &[(REGISTRY_PATH, REGISTRY), (path, COVERAGE_CLEAN)],
+    );
+    assert_semantic_silent(&clean);
+}
+
+#[test]
+fn product_fsm_fires_on_its_mutant_only() {
+    // The mutant machine passes every single-machine FSM property —
+    // all states reachable, no deadlock, exhaustive match — but its
+    // MarkedDead state cycles through Drained forever instead of
+    // recovering, which only the product checker's temporal recovery
+    // obligation sees.
+    let path = "crates/ff-policy/src/failover.rs";
+    let mutant = temp_tree("product-mutant", &[(path, PRODUCT_MUTANT)]);
+    assert_only(
+        &mutant,
+        Rule::ProductFsm,
+        &["no-recovery:ServerPathState::MarkedDead"],
+    );
+
+    let clean = temp_tree("product-clean", &[(path, PRODUCT_CLEAN)]);
+    assert_semantic_silent(&clean);
+}
+
+#[test]
+fn nondet_taint_fires_on_its_mutant_only() {
+    let path = "crates/ff-bench/src/export.rs";
+    let mutant = temp_tree("taint-mutant", &[(path, TAINT_MUTANT)]);
+    assert_only(&mutant, Rule::NondetTaint, &["render<-hash-iteration"]);
+
+    let clean = temp_tree("taint-clean", &[(path, TAINT_CLEAN)]);
+    assert_semantic_silent(&clean);
+}
+
+#[test]
+fn trace_conformance_fires_on_its_mutant_only() {
+    // Both trees carry the clean server-path machine; only the traces
+    // differ. The mutant trace jumps Healthy -> MarkedDead directly,
+    // skipping the observable Down state the recorder would have
+    // emitted — a static<->dynamic divergence.
+    let machine = "crates/ff-policy/src/failover.rs";
+    let mutant = temp_tree(
+        "conformance-mutant",
+        &[
+            (machine, PRODUCT_CLEAN),
+            ("bench/trace.jsonl", CONFORMANCE_MUTANT),
+        ],
+    );
+    assert_only(
+        &mutant,
+        Rule::TraceConformance,
+        &["runtime-only:server:Healthy->MarkedDead"],
+    );
+
+    let clean = temp_tree(
+        "conformance-clean",
+        &[
+            (machine, PRODUCT_CLEAN),
+            ("bench/trace.jsonl", CONFORMANCE_CLEAN),
+        ],
     );
     assert_semantic_silent(&clean);
 }

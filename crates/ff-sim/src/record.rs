@@ -256,6 +256,17 @@ pub enum Event {
         /// Why (stable tag, e.g. `"server-timeout"`).
         reason: &'static str,
     },
+    /// The simulator's server-path machine changed state: the retry /
+    /// backoff / failover view of the remote server moved between
+    /// `"healthy"`, `"down"` (an outage is active), and `"dead"` (a
+    /// request exhausted the retry ladder and later hoarded requests
+    /// fail over immediately).
+    ServerPathChange {
+        /// When the server-path state changed.
+        at: SimTime,
+        /// The new state label (`"healthy"`, `"down"`, `"dead"`).
+        state: &'static str,
+    },
     /// A background (non-profiled) process read from the disk — a
     /// [`Fault::DiskStorm`](crate::faults::Fault::DiskStorm) touch.
     ExternalDisk {
@@ -295,6 +306,7 @@ impl Event {
             | Event::ServerUp { at }
             | Event::RequestRetry { at, .. }
             | Event::Failover { at, .. }
+            | Event::ServerPathChange { at, .. }
             | Event::ExternalDisk { at, .. }
             | Event::ProfileInjected { at, .. } => at,
         }
@@ -320,6 +332,7 @@ impl Event {
             Event::ServerUp { .. } => "server_up",
             Event::RequestRetry { .. } => "request_retry",
             Event::Failover { .. } => "failover",
+            Event::ServerPathChange { .. } => "server_path",
             Event::ExternalDisk { .. } => "external_disk",
             Event::ProfileInjected { .. } => "profile_injected",
         }
@@ -432,6 +445,9 @@ impl Event {
             Event::Failover { source, reason, .. } => {
                 push("source", Value::Str(source.label().into()));
                 push("why", Value::Str(reason.into()));
+            }
+            Event::ServerPathChange { state, .. } => {
+                push("state", Value::Str(state.into()));
             }
             Event::ExternalDisk { bytes, .. } => {
                 push("bytes", Value::UInt(bytes.get()));
@@ -784,6 +800,14 @@ mod tests {
                 },
                 "failover",
                 r#""source":"disk","why":"server-timeout""#,
+            ),
+            (
+                Event::ServerPathChange {
+                    at: SimTime::from_secs(33),
+                    state: "dead",
+                },
+                "server_path",
+                r#""state":"dead""#,
             ),
             (
                 Event::ExternalDisk {

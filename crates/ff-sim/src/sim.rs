@@ -166,6 +166,136 @@ type QueuedEvent = (SimTime, u64, EventKind);
 /// A list of contiguous page runs `(first_page, n_pages)`.
 type PageRuns = Vec<(u64, u64)>;
 
+/// The simulator's view of the remote content server: the explicit
+/// state behind the retry / backoff / failover machinery.
+///
+/// `Healthy` means WNIC requests flow normally. An injected
+/// [`Fault::ServerOutage`](crate::faults::Fault::ServerOutage) moves
+/// the machine to `Down` (link up, server silent) until the merged end
+/// of all overlapping outage windows. The first hoarded request to
+/// exhaust the retry ladder moves it to `MarkedDead`: the client
+/// remembers the server is dead, so later hoarded requests fail over
+/// to the disk immediately instead of re-walking the ladder. A
+/// `ServerUp` clear at or after the outage end returns the machine to
+/// `Healthy` from either degraded state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServerPathState {
+    /// The server answers; requests ride the WNIC unimpeded.
+    Healthy,
+    /// An outage is active until the carried instant.
+    Down(SimTime),
+    /// The ladder was exhausted: carries the outage end and the instant
+    /// until which hoarded requests skip the ladder. The second is
+    /// never later than the first — an outage extension after marking
+    /// stretches the outage, not the memory of the exhausted ladder.
+    MarkedDead(SimTime, SimTime),
+}
+
+/// Inputs to the [`ServerPathState`] machine. Every state change goes
+/// through the single transition site [`ServerPath::apply`].
+enum ServerPathEvent {
+    /// A server outage starts (or extends) — active until the instant.
+    OutageStart(SimTime),
+    /// A `ServerUp` restore arrived (moot if the outage was extended).
+    OutageEnd,
+    /// A hoarded request walked the full retry ladder unanswered.
+    LadderExhausted,
+}
+
+/// The server-path machine plus its undrained transition log. The
+/// runner drains the log into [`ObsEvent::ServerPathChange`] events —
+/// the trace export hook that makes the failover state observable.
+struct ServerPath {
+    state: ServerPathState,
+    /// Timestamped `(at, new-state label)` changes awaiting drain.
+    changes: Vec<(SimTime, &'static str)>,
+}
+
+impl ServerPath {
+    fn new() -> Self {
+        ServerPath {
+            state: ServerPathState::Healthy,
+            changes: Vec::new(),
+        }
+    }
+
+    /// Log one observable state change (drained by the runner).
+    fn transition(&mut self, at: SimTime, state: &'static str) {
+        self.changes.push((at, state));
+    }
+
+    /// The single transition site: feed one event through the machine.
+    /// Returns whether the event was accepted — the caller reacts to an
+    /// accepted event (emits, notifies the policy) and ignores a stale
+    /// one (e.g. a `ServerUp` overtaken by an outage extension).
+    fn apply(&mut self, at: SimTime, ev: ServerPathEvent) -> bool {
+        match self.state {
+            ServerPathState::Healthy => match ev {
+                ServerPathEvent::OutageStart(until) => {
+                    self.transition(at, "down");
+                    self.state = ServerPathState::Down(until);
+                    true
+                }
+                _ => false,
+            },
+            ServerPathState::Down(until) => match ev {
+                ServerPathEvent::OutageStart(more) => {
+                    self.state = ServerPathState::Down(until.max(more));
+                    true
+                }
+                ServerPathEvent::OutageEnd if at >= until => {
+                    self.transition(at, "healthy");
+                    self.state = ServerPathState::Healthy;
+                    true
+                }
+                ServerPathEvent::OutageEnd => false,
+                ServerPathEvent::LadderExhausted => {
+                    self.transition(at, "dead");
+                    self.state = ServerPathState::MarkedDead(until, until);
+                    true
+                }
+            },
+            ServerPathState::MarkedDead(until, dead) => match ev {
+                ServerPathEvent::OutageStart(more) => {
+                    self.state = ServerPathState::MarkedDead(until.max(more), dead);
+                    true
+                }
+                ServerPathEvent::OutageEnd if at >= until => {
+                    self.transition(at, "healthy");
+                    self.state = ServerPathState::Healthy;
+                    true
+                }
+                ServerPathEvent::OutageEnd => false,
+                ServerPathEvent::LadderExhausted => {
+                    self.state = ServerPathState::MarkedDead(until, until);
+                    true
+                }
+            },
+        }
+    }
+
+    /// End of the outage window active at `now`, if any.
+    fn outage_until(&self, now: SimTime) -> Option<SimTime> {
+        match self.state {
+            ServerPathState::Down(until) | ServerPathState::MarkedDead(until, _) if now < until => {
+                Some(until)
+            }
+            _ => None,
+        }
+    }
+
+    /// Is the server remembered dead at `now` (ladder already walked),
+    /// so hoarded requests fail over without re-walking it?
+    fn dead_for(&self, now: SimTime) -> bool {
+        matches!(self.state, ServerPathState::MarkedDead(_, dead) if now < dead)
+    }
+
+    /// Drain the accumulated transition labels.
+    fn take_changes(&mut self) -> Vec<(SimTime, &'static str)> {
+        std::mem::take(&mut self.changes)
+    }
+}
+
 struct Runner<'t, 'r> {
     cfg: SimConfig,
     trace: &'t Trace,
@@ -191,12 +321,9 @@ struct Runner<'t, 'r> {
     fault_actions: Vec<(Dur, FaultAction)>,
     /// End of the current injected link outage, while one is active.
     link_down_until: Option<SimTime>,
-    /// End of the current injected server outage, while one is active.
-    server_down_until: Option<SimTime>,
-    /// Set once a request exhausts the retry ladder: later hoarded
-    /// requests fail over to the disk immediately instead of re-walking
-    /// the ladder (the client remembers the server is dead).
-    server_marked_dead_until: Option<SimTime>,
+    /// The explicit retry / backoff / failover machine for the remote
+    /// server, with its undrained transition log.
+    server_path: ServerPath,
     /// Pre-fade bandwidths, pushed on fade start and popped on fade end
     /// (a stack so nested fades restore in order).
     fade_restore: Vec<BytesPerSec>,
@@ -310,8 +437,7 @@ impl<'t, 'r> Runner<'t, 'r> {
             remaining_calls,
             fault_actions: Vec::new(),
             link_down_until: None,
-            server_down_until: None,
-            server_marked_dead_until: None,
+            server_path: ServerPath::new(),
             fade_restore: Vec::new(),
             faults_injected: 0,
             fault_retries: 0,
@@ -450,6 +576,21 @@ impl<'t, 'r> Runner<'t, 'r> {
         }
     }
 
+    /// Forward the server-path machine's transition log to the
+    /// recorder — the trace export hook that makes the retry/failover
+    /// state visible to the observability layer (and to the static↔
+    /// dynamic conformance check downstream). Always drains, so the
+    /// log never accumulates in untraced runs.
+    fn drain_server_path(&mut self) {
+        let changes = self.server_path.take_changes();
+        if !self.tracing {
+            return;
+        }
+        for (at, state) in changes {
+            self.emit(ObsEvent::ServerPathChange { at, state });
+        }
+    }
+
     /// Drain the policy's decision history into `self.decisions`,
     /// surfacing each fresh entry as an adaptation event. Draining
     /// incrementally (rather than once at the end) changes nothing in
@@ -535,20 +676,24 @@ impl<'t, 'r> Runner<'t, 'r> {
                 if !live {
                     return;
                 }
-                self.server_down_until =
-                    Some(self.server_down_until.map_or(until, |u| u.max(until)));
+                // Overlapping outages merge to the furthest end.
+                self.server_path
+                    .apply(t, ServerPathEvent::OutageStart(until));
                 self.faults_injected += 1;
                 if self.tracing {
                     self.emit(ObsEvent::ServerDown { at: t, until });
                 }
+                self.drain_server_path();
                 self.policy_fault(t, FaultNotice::ServerDown);
             }
             FaultAction::ServerUp => {
-                if self.server_down_until.is_none_or(|u| t < u) {
+                // Only the clear matching the merged window end restores
+                // the server (earlier clears of overlapped outages are
+                // moot); the machine rejects stale clears itself.
+                if !self.server_path.apply(t, ServerPathEvent::OutageEnd) {
                     return;
                 }
-                self.server_down_until = None;
-                self.server_marked_dead_until = None;
+                self.drain_server_path();
                 if !live {
                     return;
                 }
@@ -646,13 +791,13 @@ impl<'t, 'r> Runner<'t, 'r> {
     /// Returns the time the request can actually be serviced and the
     /// source that will serve it.
     fn wnic_gate(&mut self, t: SimTime, hoarded: bool) -> (SimTime, Source) {
-        let Some(down_until) = self.server_down_until.filter(|&u| t < u) else {
+        let Some(down_until) = self.server_path.outage_until(t) else {
             return (t, Source::Wnic);
         };
         // An earlier request already exhausted the ladder: hoarded data
         // fails over immediately (the client remembers the server is
         // dead until it answers again).
-        if hoarded && self.server_marked_dead_until.is_some_and(|u| t < u) {
+        if hoarded && self.server_path.dead_for(t) {
             self.fault_failovers += 1;
             return (t, Source::Disk);
         }
@@ -682,7 +827,8 @@ impl<'t, 'r> Runner<'t, 'r> {
         }
         self.fault_failovers += 1;
         if hoarded {
-            self.server_marked_dead_until = Some(down_until);
+            self.server_path
+                .apply(cur, ServerPathEvent::LadderExhausted);
             if self.tracing {
                 self.emit(ObsEvent::Failover {
                     at: cur,
@@ -690,6 +836,7 @@ impl<'t, 'r> Runner<'t, 'r> {
                     reason: "server-timeout",
                 });
             }
+            self.drain_server_path();
             (cur, Source::Disk)
         } else {
             // No local copy exists: the request can only wait the

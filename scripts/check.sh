@@ -35,8 +35,13 @@ run_step() {
 
 lint_step() {
     mkdir -p results
-    if cargo run -q -p ff-lint -- --json --forbid-stale > results/lint-report.json; then
+    if cargo run -q -p ff-lint -- --json --forbid-stale \
+        --sarif results/lint.sarif \
+        --export-product results/fsm-product.json \
+        > results/lint-report.json; then
         echo "    report: results/lint-report.json"
+        echo "    sarif: results/lint.sarif"
+        echo "    product automaton: results/fsm-product.json"
         return 0
     fi
     echo "==> ff-lint FAILED — human-readable report follows"
@@ -65,6 +70,11 @@ run_step "cargo test -q" cargo test -q
 # own step keeps a visible, independently-failing signal for the
 # fault-injection robustness contract (DESIGN.md §12).
 run_step "chaos suite (fault-injection invariants)" cargo test -q --test chaos
+# Same pattern for the static<->dynamic conformance contract (DESIGN.md
+# §13): the committed bench traces must replay clean against the
+# extracted machines, with every static edge exercised.
+run_step "trace conformance (static<->dynamic replay)" \
+    cargo test -q --test lint committed_traces_conform
 
 if (( ${#failed_steps[@]} > 0 )); then
     echo "==> ${#failed_steps[@]} check(s) FAILED:" >&2

@@ -112,10 +112,12 @@ fn fsm_family_is_pinned_at_zero() {
 
 #[test]
 fn semantic_families_are_pinned_at_zero() {
-    // The second semantic wave — interprocedural unit flow, constant
-    // provenance, event coverage — started life with no accepted debt,
-    // and this gate keeps it that way: empty in the baseline AND empty
-    // in the tree, so any regression fails tier-1 rather than ratcheting.
+    // The second and third semantic waves — interprocedural unit flow,
+    // constant provenance, event coverage, the product-state checker,
+    // nondeterminism taint, and trace conformance — started life with no
+    // accepted debt, and this gate keeps it that way: empty in the
+    // baseline AND empty in the tree, so any regression fails tier-1
+    // rather than ratcheting.
     let root = workspace_root();
     let baseline = committed_baseline(&root);
     let (findings, _) = ff_lint::collect_findings(&root).expect("scan succeeds");
@@ -123,6 +125,9 @@ fn semantic_families_are_pinned_at_zero() {
         Rule::UnitFlowInterproc,
         Rule::ConstProvenance,
         Rule::EventCoverage,
+        Rule::ProductFsm,
+        Rule::NondetTaint,
+        Rule::TraceConformance,
     ] {
         assert!(
             baseline.is_empty_for(rule),
@@ -165,6 +170,74 @@ fn device_fsm_tables_are_extracted_from_the_workspace() {
     ] {
         assert!(wnic.has_transition(from, to), "wnic {from} -> {to}");
     }
+    // The failover machine added with the product checker: the outage /
+    // retry-ladder / recovery cycle in ff-sim.
+    let server = analysis
+        .fsm_tables
+        .iter()
+        .find(|t| t.enum_name == "ServerPathState")
+        .expect("ServerPathState machine extracted from crates/ff-sim/src/sim.rs");
+    for (from, to) in [
+        ("Healthy", "Down"),
+        ("Down", "Healthy"),
+        ("Down", "MarkedDead"),
+        ("MarkedDead", "Healthy"),
+    ] {
+        assert!(server.has_transition(from, to), "server {from} -> {to}");
+    }
+}
+
+#[test]
+fn product_state_machine_proves_recovery_and_full_reachability() {
+    let root = workspace_root();
+    let analysis = ff_lint::analyze(&root).expect("scan succeeds");
+    let product = &analysis.product;
+    assert!(
+        !product.capped,
+        "the product exploration must not hit the cap"
+    );
+    assert_eq!(
+        product.states, product.reachable,
+        "every product state must be reachable from the initial tuple"
+    );
+    assert!(
+        !product.recoveries.is_empty(),
+        "the degraded-state recovery obligations must be checked"
+    );
+    for rec in &product.recoveries {
+        assert!(
+            rec.recovers,
+            "{}::{} must reach {} again",
+            rec.component, rec.state, rec.healthy
+        );
+    }
+}
+
+#[test]
+fn committed_traces_conform_to_the_static_model() {
+    let root = workspace_root();
+    let analysis = ff_lint::analyze(&root).expect("scan succeeds");
+    let coverage = &analysis.trace_coverage;
+    assert!(
+        !coverage.traces.is_empty(),
+        "the committed bench traces must be replayed"
+    );
+    let runtime_only: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::TraceConformance)
+        .collect();
+    assert!(
+        runtime_only.is_empty(),
+        "every runtime transition must be a static edge: {runtime_only:?}"
+    );
+    // The chaos traces walk every non-self edge of all three machines,
+    // so the coverage-debt ledger is empty.
+    assert!(
+        coverage.unexercised.is_empty(),
+        "static edges never exercised by a committed trace: {:?}",
+        coverage.unexercised
+    );
 }
 
 /// Materialise a minimal fake workspace containing one seeded violation.
@@ -242,6 +315,61 @@ fn cli_exits_zero_on_the_clean_workspace() {
             .iter()
             .any(|r| r.get("rule").and_then(|v| v.as_str()) == Some("panic-reachability")),
         "missing panic-reachability family in: {text}"
+    );
+    // Wave 3: fifteen families, plus the product and conformance nodes.
+    assert_eq!(by_rule.len(), 15, "expected fifteen rule families: {text}");
+    let product = doc.get("product").expect("product node");
+    assert_eq!(
+        product.get("states").and_then(|v| v.as_u64()),
+        product.get("reachable").and_then(|v| v.as_u64()),
+        "product reachability must be total: {text}"
+    );
+    let conformance = doc.get("conformance").expect("conformance node");
+    assert_eq!(
+        conformance.get("runtime_only").and_then(|v| v.as_u64()),
+        Some(0),
+        "committed traces must replay with no runtime-only transitions: {text}"
+    );
+}
+
+#[test]
+fn cli_writes_sarif_and_product_exports() {
+    let dir = std::env::temp_dir().join("ff-lint-cli-exports");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let sarif_path = dir.join("lint.sarif");
+    let product_path = dir.join("fsm-product.json");
+    let out = run_ff_lint(&[
+        "--json",
+        "--sarif",
+        sarif_path.to_str().expect("utf-8 temp path"),
+        "--export-product",
+        product_path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(
+        out.status.success(),
+        "ff-lint with exports failed:\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let sarif = std::fs::read_to_string(&sarif_path).expect("sarif written");
+    let doc = ff_base::json::Value::parse(&sarif).expect("sarif is JSON");
+    assert_eq!(
+        doc.get("version").and_then(|v| v.as_str()),
+        Some("2.1.0"),
+        "not a SARIF 2.1.0 document: {sarif}"
+    );
+    assert!(
+        sarif.contains("\"ff-lint\""),
+        "driver name missing: {sarif}"
+    );
+    let product = std::fs::read_to_string(&product_path).expect("product written");
+    let doc = ff_base::json::Value::parse(&product).expect("product export is JSON");
+    let components = doc
+        .get("components")
+        .and_then(|v| v.as_array())
+        .expect("components array");
+    assert!(
+        components.len() >= 3,
+        "expected the disk, wnic and server machines: {product}"
     );
 }
 
