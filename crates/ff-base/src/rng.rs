@@ -29,6 +29,41 @@ pub fn split_seed(seed: u64, stream: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derive a per-task seed from a base seed and a canonical task key
+/// (the parallel sweep engine uses `"workload/policy/seed"` keys):
+/// FNV-1a over the key bytes, folded through [`split_seed`].
+///
+/// The derivation depends only on `(base, key)` — never on thread
+/// count, scheduling order, or platform — so a grid task draws the same
+/// stream whether the grid runs on one worker or sixteen. Stability is
+/// pinned by a golden fixture in `tests/parallel.rs`.
+///
+/// ```
+/// use ff_base::rng::derive_seed;
+/// let a = derive_seed(42, "grep/flexfetch/42");
+/// assert_eq!(a, derive_seed(42, "grep/flexfetch/42"));
+/// assert_ne!(a, derive_seed(42, "grep/flexfetch/43"));
+/// assert_ne!(a, derive_seed(43, "grep/flexfetch/42"));
+/// ```
+#[inline]
+pub fn derive_seed(base: u64, key: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for &b in key.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    split_seed(base, h)
+}
+
+/// The RNG stream owned by one grid task: [`seeded_rng`] over
+/// [`derive_seed`]. Independent of every other task's stream.
+#[inline]
+pub fn task_rng(base: u64, key: &str) -> SimRng {
+    seeded_rng(derive_seed(base, key))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +101,26 @@ mod tests {
     fn split_seed_differs_from_parent() {
         assert_ne!(split_seed(7, 0), 7);
         assert_ne!(split_seed(7, 1), split_seed(7, 2));
+    }
+
+    #[test]
+    fn derive_seed_is_key_sensitive() {
+        // Every byte of the key matters, including separators: the grid
+        // keys "a/bc" and "ab/c" are different tasks.
+        assert_ne!(derive_seed(1, "a/bc"), derive_seed(1, "ab/c"));
+        assert_ne!(derive_seed(1, ""), derive_seed(1, "/"));
+        assert_eq!(derive_seed(9, "xmms/wnic/7"), derive_seed(9, "xmms/wnic/7"));
+    }
+
+    #[test]
+    fn task_rng_streams_are_independent() {
+        let mut a = task_rng(42, "grep/disk/42");
+        let mut b = task_rng(42, "grep/wnic/42");
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+        let mut a2 = task_rng(42, "grep/disk/42");
+        let xs2: Vec<u64> = (0..8).map(|_| a2.gen()).collect();
+        assert_eq!(xs, xs2);
     }
 }

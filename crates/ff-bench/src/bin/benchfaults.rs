@@ -1,20 +1,22 @@
 //! `benchfaults` — the chaos matrix runner.
 //!
 //! Sweeps every named fault scenario over every policy for a set of
-//! workloads, runs the shared robustness oracle on each cell, verifies
-//! one cell replays to a byte-identical event log, and writes
-//! `bench/BENCH_faults.json` (schema documented in EXPERIMENTS.md).
-//! Exits non-zero if any cell violates an invariant or the replay
-//! diverges.
+//! workloads on the work-stealing pool (`--jobs N`, default one worker
+//! per hardware thread), runs the shared robustness oracle on each
+//! cell, verifies one cell replays to a byte-identical event log, and
+//! writes `bench/BENCH_faults.json` (schema documented in
+//! `docs/benchmarks.md`). Every field of the artifact is deterministic
+//! for a fixed seed — and identical for any `--jobs` value. Exits
+//! non-zero if any cell violates an invariant or the replay diverges.
 //!
 //! ```text
 //! cargo run --release -p ff-bench --bin benchfaults \
-//!     [-- --seed 42 --out bench/BENCH_faults.json]
+//!     [-- --seed 42 --jobs 8 --out bench/BENCH_faults.json]
 //! ```
 
 use ff_base::json::Value;
-use ff_bench::faults::{cell_json, check_invariants, fault_run, FAULT_SCENARIOS};
-use ff_bench::observe::{build_workload, POLICIES};
+use ff_bench::faults::{cell_json, fault_matrix, fault_run, FAULT_SCENARIOS};
+use ff_bench::observe::POLICIES;
 use std::path::PathBuf;
 
 /// The matrix's workload axis: the dense reader, the long sparse
@@ -23,18 +25,25 @@ const MATRIX_WORKLOADS: [&str; 3] = ["grep", "xmms", "thunderbird"];
 
 fn main() {
     let mut seed: u64 = 42;
+    let mut jobs: usize = 0;
     let mut out = PathBuf::from("bench/BENCH_faults.json");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
             "--out" => out = PathBuf::from(args.next().expect("--out PATH")),
             other => {
-                eprintln!("unknown flag {other}; usage: benchfaults [--seed N] [--out PATH]");
+                eprintln!(
+                    "unknown flag {other}; usage: benchfaults [--seed N] [--jobs N] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
+
+    let matrix = fault_matrix(&MATRIX_WORKLOADS, &POLICIES, &FAULT_SCENARIOS, seed, jobs)
+        .expect("matrix cells use validated names");
 
     let mut cells = Vec::new();
     let mut total_violations = 0usize;
@@ -42,31 +51,33 @@ fn main() {
         "{:<13} {:<18} {:<15} {:>10} {:>7} {:>6} {:>6} {:>10}",
         "workload", "policy", "scenario", "total_j", "faults", "retry", "fail", "violations"
     );
-    for workload in MATRIX_WORKLOADS {
-        let trace = build_workload(workload, seed).expect("matrix workloads are fixed");
-        for policy in POLICIES {
-            for scenario in FAULT_SCENARIOS {
-                let run = fault_run(workload, policy, scenario, seed)
-                    .expect("matrix cells use validated names");
-                let violations = check_invariants(&trace, &run);
-                println!(
-                    "{:<13} {:<18} {:<15} {:>9.1}J {:>7} {:>6} {:>6} {:>10}",
-                    workload,
-                    run.report.policy,
-                    scenario,
-                    run.report.total_energy().get(),
-                    run.report.faults_injected,
-                    run.report.retries,
-                    run.report.failovers,
-                    violations.len()
-                );
-                for v in &violations {
-                    eprintln!("  VIOLATION [{workload}/{policy}/{scenario}]: {v}");
-                }
-                total_violations += violations.len();
-                cells.push(cell_json(workload, policy, scenario, &run, &violations));
-            }
+    for cell in &matrix {
+        let r = &cell.run.report;
+        println!(
+            "{:<13} {:<18} {:<15} {:>9.1}J {:>7} {:>6} {:>6} {:>10}",
+            cell.workload,
+            r.policy,
+            cell.scenario,
+            r.total_energy().get(),
+            r.faults_injected,
+            r.retries,
+            r.failovers,
+            cell.violations.len()
+        );
+        for v in &cell.violations {
+            eprintln!(
+                "  VIOLATION [{}/{}/{}]: {v}",
+                cell.workload, cell.policy, cell.scenario
+            );
         }
+        total_violations += cell.violations.len();
+        cells.push(cell_json(
+            &cell.workload,
+            &cell.policy,
+            &cell.scenario,
+            &cell.run,
+            &cell.violations,
+        ));
     }
 
     // Determinism spot check: the densest cell must replay to a

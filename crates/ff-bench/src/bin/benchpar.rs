@@ -1,0 +1,101 @@
+//! `benchpar` — the parallel engine's determinism-and-speedup gate.
+//!
+//! Runs the full `benchsim` grid twice — once serially (`jobs = 1`,
+//! the reference path) and once on the work-stealing pool (`--jobs N`,
+//! default one worker per hardware thread) — then:
+//!
+//! 1. asserts the two schema-2 documents are **byte-identical** (the
+//!    parallel engine's determinism contract; exit 1 on any diff), and
+//! 2. writes the measured wall-clock speedup to
+//!    `bench/BENCH_parallel.json` (schema documented in
+//!    `docs/benchmarks.md`).
+//!
+//! ```text
+//! cargo run --release -p ff-bench --bin benchpar \
+//!     [-- --seed 42 --jobs 8 --out bench/BENCH_parallel.json]
+//! ```
+//!
+//! Wall times and the speedup vary with the host (a single-core
+//! container cannot beat 1x; the artifact records `cores` so readers
+//! can judge); the byte-identity verdict is portable and is what the
+//! `parallel-determinism` check step gates on.
+
+use ff_base::json::Value;
+use ff_bench::grid::sim_matrix_json;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut seed: u64 = 42;
+    let mut jobs: usize = 0;
+    let mut out = PathBuf::from("bench/BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--out" => out = PathBuf::from(args.next().expect("--out PATH")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: benchpar [--seed N] [--jobs N] [--out PATH]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let jobs = ff_bench::resolve_jobs(jobs);
+    let cores = ff_bench::default_jobs();
+
+    let t0 = Instant::now();
+    let serial = sim_matrix_json(seed, 1).expect("serial grid");
+    let serial_wall = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let t1 = Instant::now();
+    let parallel = sim_matrix_json(seed, jobs).expect("parallel grid");
+    let parallel_wall = t1.elapsed().as_secs_f64().max(1e-9);
+
+    let serial_text = serial.to_pretty();
+    let parallel_text = parallel.to_pretty();
+    let identical = serial_text == parallel_text;
+    let speedup = serial_wall / parallel_wall;
+    let cells = serial
+        .get("cells")
+        .and_then(|c| c.as_array())
+        .map(|c| c.len())
+        .unwrap_or(0);
+
+    println!(
+        "grid: {cells} cells | serial {:.1} ms | jobs={jobs} {:.1} ms | speedup {speedup:.2}x | cores {cores} | byte-identical: {identical}",
+        serial_wall * 1e3,
+        parallel_wall * 1e3,
+    );
+    if !identical {
+        eprintln!("VIOLATION: jobs=1 and jobs={jobs} documents differ — the parallel engine broke determinism");
+    }
+
+    let doc = Value::Object(vec![
+        ("bench".into(), Value::Str("parallel".into())),
+        ("schema".into(), Value::UInt(1)),
+        ("seed".into(), Value::UInt(seed)),
+        (
+            "command".into(),
+            Value::Str("cargo run --release -p ff-bench --bin benchpar".into()),
+        ),
+        ("jobs".into(), Value::UInt(jobs as u64)),
+        ("cores".into(), Value::UInt(cores as u64)),
+        ("cells".into(), Value::UInt(cells as u64)),
+        ("serial_wall_s".into(), Value::Float(serial_wall)),
+        ("parallel_wall_s".into(), Value::Float(parallel_wall)),
+        ("speedup".into(), Value::Float(speedup)),
+        ("identical".into(), Value::Bool(identical)),
+    ]);
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create bench dir");
+    }
+    std::fs::write(&out, format!("{}\n", doc.to_pretty())).expect("write BENCH_parallel.json");
+    eprintln!("wrote {}", out.display());
+
+    if !identical {
+        std::process::exit(1);
+    }
+}

@@ -1,105 +1,81 @@
-//! `benchsim` — the simulator's wall-clock benchmark matrix.
+//! `benchsim` — the simulator's benchmark matrix.
 //!
 //! Runs all six Table-3 workloads under all five policies with a
-//! counting recorder attached and measures, per cell: total events,
-//! wall-clock time, event throughput, and the ratio of simulated time
-//! to wall time. Writes `bench/BENCH_sim.json` (schema documented in
-//! EXPERIMENTS.md) so perf PRs have a measured baseline to beat.
+//! counting recorder attached, fanned out over the work-stealing pool
+//! (`--jobs N`, default one worker per hardware thread), and writes
+//! `bench/BENCH_sim.json` (schema 2, documented in `docs/benchmarks.md`).
 //!
 //! ```text
-//! cargo run --release -p ff-bench --bin benchsim [-- --seed 42 --out bench/BENCH_sim.json]
+//! cargo run --release -p ff-bench --bin benchsim \
+//!     [-- --seed 42 --jobs 8 --out bench/BENCH_sim.json]
 //! ```
 //!
-//! Simulation results inside each cell are deterministic; the wall-time
-//! and derived throughput fields vary with the host.
+//! The JSON artifact contains **only deterministic fields** — it is
+//! byte-identical for any `--jobs` value, which the
+//! `parallel-determinism` check step relies on. Wall-clock numbers
+//! (per-cell times below, whole-grid speedup) are host noise and live
+//! on stdout and in `bench/BENCH_parallel.json` (`benchpar`).
 
-use ff_base::json::Value;
-use ff_bench::observe::{recorded_run, POLICIES, WORKLOADS};
-use ff_sim::CountingRecorder;
+use ff_bench::grid::{sim_cell, sim_doc, Grid};
 use std::path::PathBuf;
 use std::time::Instant;
 
-/// Peak resident-set proxy: VmHWM from /proc/self/status, in KiB
-/// (0 where the file is unavailable, e.g. non-Linux hosts).
-fn peak_rss_kb() -> u64 {
-    std::fs::read_to_string("/proc/self/status")
-        .ok()
-        .and_then(|s| {
-            s.lines()
-                .find(|l| l.starts_with("VmHWM:"))
-                .and_then(|l| l.split_whitespace().nth(1))
-                .and_then(|n| n.parse().ok())
-        })
-        .unwrap_or(0)
-}
-
 fn main() {
     let mut seed: u64 = 42;
+    let mut jobs: usize = 0;
     let mut out = PathBuf::from("bench/BENCH_sim.json");
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
             "--out" => out = PathBuf::from(args.next().expect("--out PATH")),
             other => {
-                eprintln!("unknown flag {other}; usage: benchsim [--seed N] [--out PATH]");
+                eprintln!(
+                    "unknown flag {other}; usage: benchsim [--seed N] [--jobs N] [--out PATH]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let mut cells = Vec::new();
+    let grid = Grid::sim_matrix(seed);
+    let t0 = Instant::now();
+    let cells = grid
+        .run(jobs, |cell| {
+            let cell_t0 = Instant::now();
+            sim_cell(cell).map(|sc| (sc, cell_t0.elapsed()))
+        })
+        .expect("the fixed matrix uses validated names");
+    let grid_wall = t0.elapsed();
+
     println!(
         "{:<14} {:<18} {:>9} {:>10} {:>9} {:>12} {:>10}",
         "workload", "policy", "events", "sim(s)", "wall(ms)", "events/s", "sim/wall"
     );
-    for workload in WORKLOADS {
-        for policy in POLICIES {
-            let mut rec = CountingRecorder::new();
-            let t0 = Instant::now();
-            let report = recorded_run(workload, policy, seed, &mut rec)
-                .expect("workload/policy names come from the fixed matrix");
-            let wall = t0.elapsed();
-            let wall_s = wall.as_secs_f64().max(1e-9);
-            let sim_s = report.exec_time.as_secs_f64();
-            let events = rec.total();
-            let events_per_sec = events as f64 / wall_s;
-            let ratio = sim_s / wall_s;
-            println!(
-                "{:<14} {:<18} {:>9} {:>10.1} {:>9.1} {:>12.0} {:>10.0}",
-                workload,
-                report.policy,
-                events,
-                sim_s,
-                wall_s * 1e3,
-                events_per_sec,
-                ratio
-            );
-            cells.push(Value::Object(vec![
-                ("workload".into(), Value::Str(workload.into())),
-                ("policy".into(), Value::Str(policy.into())),
-                ("events".into(), Value::UInt(events)),
-                ("app_requests".into(), Value::UInt(report.app_requests)),
-                ("sim_time_s".into(), Value::Float(sim_s)),
-                ("wall_time_s".into(), Value::Float(wall_s)),
-                ("events_per_sec".into(), Value::Float(events_per_sec)),
-                ("sim_wall_ratio".into(), Value::Float(ratio)),
-                ("total_j".into(), Value::Float(report.total_energy().get())),
-            ]));
-        }
+    for (cell, (sc, wall)) in &cells {
+        let wall_s = wall.as_secs_f64().max(1e-9);
+        println!(
+            "{:<14} {:<18} {:>9} {:>10.1} {:>9.1} {:>12.0} {:>10.0}",
+            cell.workload,
+            cell.policy,
+            sc.events,
+            sc.sim_time_s,
+            wall_s * 1e3,
+            sc.events as f64 / wall_s,
+            sc.sim_time_s / wall_s,
+        );
     }
+    let workers = ff_bench::resolve_jobs(jobs);
+    eprintln!(
+        "grid: {} cells on {} worker(s) in {:.1} ms",
+        cells.len(),
+        workers,
+        grid_wall.as_secs_f64() * 1e3
+    );
 
-    let doc = Value::Object(vec![
-        ("bench".into(), Value::Str("sim".into())),
-        ("schema".into(), Value::UInt(1)),
-        ("seed".into(), Value::UInt(seed)),
-        (
-            "command".into(),
-            Value::Str("cargo run --release -p ff-bench --bin benchsim".into()),
-        ),
-        ("peak_rss_kb".into(), Value::UInt(peak_rss_kb())),
-        ("cells".into(), Value::Array(cells)),
-    ]);
+    let payload: Vec<_> = cells.into_iter().map(|(c, (sc, _))| (c, sc)).collect();
+    let doc = sim_doc(seed, &payload);
     if let Some(parent) = out.parent() {
         std::fs::create_dir_all(parent).expect("create bench dir");
     }

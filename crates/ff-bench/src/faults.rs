@@ -11,6 +11,7 @@
 //! the event log.
 
 use crate::observe::{build_policy, build_workload, ObservedRun};
+use crate::pool;
 use ff_base::json::Value;
 use ff_base::{Dur, Error, Result};
 use ff_sim::{EventLog, FaultPlan, ProfileFaultMode, SimConfig, Simulation};
@@ -84,6 +85,57 @@ pub fn fault_run(workload: &str, policy: &str, scenario: &str, seed: u64) -> Res
         .policy(kind)
         .run_recorded(&mut log)?;
     Ok(ObservedRun { report, log })
+}
+
+/// One evaluated chaos-matrix cell: identity, the observed run, and the
+/// oracle's verdicts.
+pub struct FaultCell {
+    /// Workload axis value.
+    pub workload: String,
+    /// Policy axis value.
+    pub policy: String,
+    /// Fault-scenario axis value.
+    pub scenario: String,
+    /// The run's report and event log.
+    pub run: ObservedRun,
+    /// Robustness-oracle findings (empty = the cell survived).
+    pub violations: Vec<String>,
+}
+
+/// Run the full workload × policy × scenario chaos matrix on `jobs`
+/// pool workers (`0` = one per hardware thread). Cells come back in
+/// canonical order (workload-major, then policy, then scenario) and are
+/// byte-identical for any `jobs` — each cell is one independent,
+/// seed-deterministic simulation and the pool merges in task order.
+pub fn fault_matrix(
+    workloads: &[&str],
+    policies: &[&str],
+    scenarios: &[&str],
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<FaultCell>> {
+    let mut specs: Vec<(&str, &str, &str)> = Vec::new();
+    for &w in workloads {
+        for &p in policies {
+            for &s in scenarios {
+                specs.push((w, p, s));
+            }
+        }
+    }
+    pool::run_ordered(jobs, &specs, |_, &(w, p, s)| -> Result<FaultCell> {
+        let trace = build_workload(w, seed)?;
+        let run = fault_run(w, p, s, seed)?;
+        let violations = check_invariants(&trace, &run);
+        Ok(FaultCell {
+            workload: w.to_owned(),
+            policy: p.to_owned(),
+            scenario: s.to_owned(),
+            run,
+            violations,
+        })
+    })?
+    .into_iter()
+    .collect()
 }
 
 /// The chaos harness's robustness oracle. Returns one human-readable

@@ -16,15 +16,21 @@
 //! block, so results can be diffed against EXPERIMENTS.md.
 
 pub mod faults;
+pub mod grid;
 pub mod observe;
+pub mod pool;
 pub mod scenarios;
 pub mod svg;
 pub mod sweep;
 
-pub use faults::{cell_json, check_invariants, fault_plan, fault_run, FAULT_SCENARIOS};
+pub use faults::{
+    cell_json, check_invariants, fault_matrix, fault_plan, fault_run, FaultCell, FAULT_SCENARIOS,
+};
+pub use grid::{sim_matrix_json, Grid, GridCell, SimCell};
+pub use pool::{default_jobs, resolve_jobs, run_ordered};
 pub use scenarios::Scenario;
 pub use svg::{line_chart, rows_to_series};
 pub use sweep::{
-    bandwidth_sweep, latency_sweep, print_csv, print_table, standard_policies, Row,
-    BANDWIDTHS_MBPS, LATENCIES_MS,
+    bandwidth_sweep, bandwidth_sweep_jobs, latency_sweep, latency_sweep_jobs, print_csv,
+    print_table, standard_policies, Row, BANDWIDTHS_MBPS, LATENCIES_MS,
 };

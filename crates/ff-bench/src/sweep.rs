@@ -3,10 +3,13 @@
 //! §3.3: *"We vary the WNIC latency with a fixed 11 Mbps bandwidth and
 //! vary the WNIC bandwidth with a fixed 1 msec latency."* Each sweep
 //! point × policy is an independent single-threaded simulation; points
-//! fan out across threads with `crossbeam::scope`.
+//! fan out over the work-stealing pool ([`crate::pool`]) and merge back
+//! in canonical point order, so sweep output is byte-identical at any
+//! `--jobs` setting.
 
+use crate::pool;
 use crate::scenarios::Scenario;
-use ff_base::{Dur, Error, Result};
+use ff_base::{Dur, Result};
 use ff_policy::PolicyKind;
 use ff_sim::{SimConfig, Simulation};
 
@@ -42,18 +45,30 @@ fn run_point(scenario: &Scenario, kind: &PolicyKind, cfg: SimConfig, x: f64) -> 
     })
 }
 
-/// Run `policies` over a sweep of WNIC latencies at 11 Mbps.
+/// Run `policies` over a sweep of WNIC latencies at 11 Mbps, on one
+/// pool worker per hardware thread.
 pub fn latency_sweep(
     scenario: &Scenario,
     policies: &[PolicyKind],
     latencies_ms: &[u64],
+) -> Result<Vec<Row>> {
+    latency_sweep_jobs(scenario, policies, latencies_ms, 0)
+}
+
+/// [`latency_sweep`] with an explicit `--jobs` worker count (`0` = one
+/// per hardware thread). Results are identical for any `jobs`.
+pub fn latency_sweep_jobs(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    latencies_ms: &[u64],
+    jobs: usize,
 ) -> Result<Vec<Row>> {
     let points: Vec<(usize, u64)> = policies
         .iter()
         .enumerate()
         .flat_map(|(pi, _)| latencies_ms.iter().map(move |&l| (pi, l)))
         .collect();
-    run_parallel(scenario, policies, &points, |l| {
+    run_points(scenario, policies, &points, jobs, |l| {
         (
             SimConfig::default().with_wnic_latency(Dur::from_millis(l)),
             l as f64,
@@ -61,11 +76,23 @@ pub fn latency_sweep(
     })
 }
 
-/// Run `policies` over a sweep of WNIC bandwidths at 1 ms latency.
+/// Run `policies` over a sweep of WNIC bandwidths at 1 ms latency, on
+/// one pool worker per hardware thread.
 pub fn bandwidth_sweep(
     scenario: &Scenario,
     policies: &[PolicyKind],
     bandwidths_mbps: &[f64],
+) -> Result<Vec<Row>> {
+    bandwidth_sweep_jobs(scenario, policies, bandwidths_mbps, 0)
+}
+
+/// [`bandwidth_sweep`] with an explicit `--jobs` worker count (`0` =
+/// one per hardware thread). Results are identical for any `jobs`.
+pub fn bandwidth_sweep_jobs(
+    scenario: &Scenario,
+    policies: &[PolicyKind],
+    bandwidths_mbps: &[f64],
+    jobs: usize,
 ) -> Result<Vec<Row>> {
     let points: Vec<(usize, u64)> = policies
         .iter()
@@ -76,7 +103,7 @@ pub fn bandwidth_sweep(
                 .map(move |&b| (pi, (b * 1000.0) as u64))
         })
         .collect();
-    run_parallel(scenario, policies, &points, |milli_mbps| {
+    run_points(scenario, policies, &points, jobs, |milli_mbps| {
         let mbps = milli_mbps as f64 / 1000.0;
         (
             SimConfig::default()
@@ -87,33 +114,22 @@ pub fn bandwidth_sweep(
     })
 }
 
-fn run_parallel(
+/// Fan the sweep points out over the pool; each point is one
+/// independent simulation, and the pool's ordered merge returns rows in
+/// canonical point order.
+fn run_points(
     scenario: &Scenario,
     policies: &[PolicyKind],
     points: &[(usize, u64)],
+    jobs: usize,
     make_cfg: impl Fn(u64) -> (SimConfig, f64) + Sync,
 ) -> Result<Vec<Row>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let mut rows: Vec<Option<Result<Row>>> = Vec::new();
-    rows.resize_with(points.len(), || None);
-    let chunk = points.len().div_ceil(threads).max(1);
-    crossbeam::scope(|s| {
-        for (slot_chunk, point_chunk) in rows.chunks_mut(chunk).zip(points.chunks(chunk)) {
-            let make_cfg = &make_cfg;
-            s.spawn(move |_| {
-                for (slot, &(pi, raw)) in slot_chunk.iter_mut().zip(point_chunk) {
-                    let (cfg, x) = make_cfg(raw);
-                    *slot = Some(run_point(scenario, &policies[pi], cfg, x));
-                }
-            });
-        }
-    })
-    .map_err(|_| Error::Internal("sweep worker panicked".into()))?;
-    rows.into_iter()
-        .map(|r| r.unwrap_or_else(|| Err(Error::Internal("sweep point left unfilled".into()))))
-        .collect()
+    pool::run_ordered(jobs, points, |_, &(pi, raw)| {
+        let (cfg, x) = make_cfg(raw);
+        run_point(scenario, &policies[pi], cfg, x)
+    })?
+    .into_iter()
+    .collect()
 }
 
 /// Print a figure as an aligned table: one row per x, one column per
@@ -212,5 +228,22 @@ mod tests {
             .find(|r| r.policy == "WNIC-only" && r.x == 11.0)
             .unwrap();
         assert!(w1.energy_j > w11.energy_j);
+    }
+
+    #[test]
+    fn rows_are_identical_at_any_job_count() {
+        let mut s = Scenario::grep_make(1).unwrap();
+        s.trace = ff_trace::Grep {
+            files: 30,
+            total_bytes: 1_500_000,
+            ..Default::default()
+        }
+        .build(2);
+        let policies = [PolicyKind::DiskOnly, PolicyKind::WnicOnly];
+        let serial = latency_sweep_jobs(&s, &policies, &[0, 5, 10], 1).unwrap();
+        for jobs in [2, 4, 8] {
+            let par = latency_sweep_jobs(&s, &policies, &[0, 5, 10], jobs).unwrap();
+            assert_eq!(par, serial, "jobs={jobs}");
+        }
     }
 }

@@ -353,6 +353,22 @@ pub fn collect_findings(root: &Path) -> Result<(Vec<Finding>, usize)> {
 }
 
 /// Scan and compare against a baseline in one step.
+///
+/// This is the library entry point behind the CLI — the doctest below
+/// is the workspace's self-scan, the same check `./scripts/check.sh`
+/// runs:
+///
+/// ```
+/// use ff_lint::{default_baseline_path, default_root, Baseline};
+///
+/// let root = default_root();
+/// let baseline = Baseline::load(&default_baseline_path(&root)).unwrap();
+/// let report = ff_lint::run(&root, &baseline).unwrap();
+///
+/// assert!(report.files_scanned > 50, "scanned {}", report.files_scanned);
+/// // All fifteen families ran; nothing beyond the accepted ratchet.
+/// assert!(report.delta.new.is_empty(), "{:?}", report.delta.new);
+/// ```
 pub fn run(root: &Path, baseline: &Baseline) -> Result<Report> {
     let analysis = analyze(root)?;
     let delta = baseline.compare(&analysis.findings);

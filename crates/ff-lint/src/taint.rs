@@ -13,10 +13,19 @@
 //! source is a finding: the artefact could observe nondeterminism and
 //! break byte-identical replay.
 //!
-//! Hash iteration followed by a `.sort…` call later in the same fn is
-//! treated as sanitised — the canonical pattern in
-//! `ff-trace::strace_import`, which drains its maps into a vector and
-//! sorts before anything escapes.
+//! Two source kinds admit a **sanitiser**: an occurrence followed by a
+//! `.sort…` call later in the same fn body is treated as sanitised.
+//!
+//! * *Hash iteration* — the canonical pattern in
+//!   `ff-trace::strace_import`, which drains its maps into a vector and
+//!   sorts before anything escapes.
+//! * *Thread spawns* (`thread::spawn`, scoped `.spawn(…)`,
+//!   `thread::scope`/`crossbeam::scope`) — the **ordered-merge**
+//!   pattern of `ff-bench::pool`: workers race, but every result
+//!   carries its task index and the batch is sorted into canonical
+//!   task order before it leaves the spawning fn, so scheduling order
+//!   cannot reach a recorded sink. A spawn whose results escape
+//!   *without* a canonical-order merge remains a finding.
 
 use crate::callgraph::{Graph, NodeId};
 use crate::items::ItemTree;
@@ -39,7 +48,7 @@ pub const TAINT_CRATES: [&str; 8] = [
 ];
 
 /// Direct nondeterminism tokens: substring, source kind, explanation.
-const SOURCE_TOKENS: [(&str, &str, &str); 6] = [
+const SOURCE_TOKENS: [(&str, &str, &str); 9] = [
     (
         "Instant::now(",
         "wall-clock",
@@ -58,7 +67,27 @@ const SOURCE_TOKENS: [(&str, &str, &str); 6] = [
         "thread",
         "spawns a thread; interleaving is nondeterministic",
     ),
+    (
+        "thread::scope(",
+        "thread",
+        "spawns scoped threads; interleaving is nondeterministic",
+    ),
+    (
+        "crossbeam::scope(",
+        "thread",
+        "spawns scoped threads; interleaving is nondeterministic",
+    ),
+    (
+        ".spawn(",
+        "thread",
+        "spawns a worker thread; interleaving is nondeterministic",
+    ),
 ];
+
+/// Source kinds that a later `.sort…` in the same body sanitises: an
+/// unordered collection (or a racing worker pool) whose results are
+/// merged into canonical order before they escape.
+const SORT_SANITISED_KINDS: [&str; 2] = ["hash-iteration", "thread"];
 
 /// Sink tokens: a fn whose body mentions one of these feeds the
 /// replay-stable artefacts.
@@ -135,8 +164,20 @@ fn iterates(code: &str, ident: &str) -> bool {
     false
 }
 
+/// Is there a `.sort…` call strictly after `line_no` (and up to the fn
+/// end) — the ordered-merge/drain-and-sort sanitiser?
+fn sorted_later(file: &SourceFile, line_no: usize, body_end: usize) -> bool {
+    (line_no..=body_end).any(|n| {
+        file.lines
+            .get(n - 1)
+            .is_some_and(|l| !l.in_test && l.code.contains(".sort"))
+    })
+}
+
 /// Sources in one fn body: direct tokens plus unsanitised hash
-/// iteration (no `.sort…` between the iteration and the fn end).
+/// iteration. Sort-sanitisable kinds (hash iteration, thread spawns)
+/// are dropped when a `.sort…` follows in the same body — the merge
+/// into canonical order happens before anything escapes.
 fn body_sources(
     file: &SourceFile,
     hash_idents: &BTreeSet<String>,
@@ -153,24 +194,23 @@ fn body_sources(
         }
         let code = &line.code;
         for &(token, kind, _) in &SOURCE_TOKENS {
-            if code.contains(token) {
-                out.push(Source {
-                    kind,
-                    line: line_no,
-                    what: token.trim_end_matches('(').to_owned(),
-                });
+            if !code.contains(token) {
+                continue;
             }
+            if SORT_SANITISED_KINDS.contains(&kind) && sorted_later(file, line_no, body_end) {
+                continue;
+            }
+            out.push(Source {
+                kind,
+                line: line_no,
+                what: token.trim_end_matches('(').to_owned(),
+            });
         }
         for ident in hash_idents {
             if !iterates(code, ident) {
                 continue;
             }
-            let sanitised = (line_no..=body_end).any(|n| {
-                file.lines
-                    .get(n - 1)
-                    .is_some_and(|l| !l.in_test && l.code.contains(".sort"))
-            });
-            if !sanitised {
+            if !sorted_later(file, line_no, body_end) {
                 out.push(Source {
                     kind: "hash-iteration",
                     line: line_no,
@@ -397,6 +437,42 @@ pub fn emit(log: &mut Vec<String>) {
             findings.iter().any(|f| f.token == "emit<-wall-clock"),
             "{findings:?}"
         );
+    }
+
+    const UNMERGED_POOL: &str = "\
+fn fan_out(items: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    std::thread::scope(|s| {
+        for &x in items {
+            s.spawn(move || x * 2);
+        }
+    });
+    out.push(1);
+    out
+}
+
+pub fn export(log: &mut Vec<String>) {
+    let rows = fan_out(&[1, 2, 3]);
+    log.record(rows.len());
+}
+";
+
+    #[test]
+    fn thread_spawn_without_ordered_merge_is_caught() {
+        let findings = run(&[("crates/ff-bench/src/pool.rs", UNMERGED_POOL)]);
+        assert!(
+            findings.iter().any(|f| f.token == "export<-thread"),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn ordered_merge_sanitises_the_spawn() {
+        // The ff-bench::pool pattern: results carry their task index
+        // and are sorted into canonical order before they escape.
+        let clean = UNMERGED_POOL.replace("    out.push(1);\n", "    out.sort_by_key(|&(i)| i);\n");
+        let findings = run(&[("crates/ff-bench/src/pool.rs", &clean)]);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

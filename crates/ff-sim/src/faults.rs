@@ -217,6 +217,31 @@ impl RetryPolicy {
 }
 
 /// A scripted set of faults, applied deterministically to one run.
+///
+/// Build a plan with the `with_*` combinators, attach it via
+/// [`crate::SimConfig::with_faults`], and the simulator injects each
+/// fault at its scripted onset — same seed, same plan, same run,
+/// byte-for-byte:
+///
+/// ```
+/// use ff_base::Dur;
+/// use ff_policy::PolicyKind;
+/// use ff_sim::{FaultPlan, SimConfig, Simulation};
+/// use ff_trace::{Grep, Workload};
+///
+/// let plan = FaultPlan::none()
+///     .with_link_outage(Dur::from_millis(10), Dur::from_millis(500));
+/// assert!(plan.validate().is_ok());
+///
+/// let trace = Grep { files: 20, total_bytes: 800_000, ..Default::default() }.build(1);
+/// let report = Simulation::new(SimConfig::default().with_faults(plan), &trace)
+///     .policy(PolicyKind::WnicOnly)
+///     .run()
+///     .unwrap();
+/// // The outage was injected and survived (retries and/or failover).
+/// assert_eq!(report.faults_injected, 1);
+/// assert_eq!(report.app_requests, trace.len() as u64);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultPlan {
     /// The faults, in no particular order (the simulator sorts by onset).

@@ -55,3 +55,38 @@ pub use faults::{Fault, FaultPlan, ProfileFaultMode, RetryPolicy};
 pub use record::{CountingRecorder, Event, EventLog, NullRecorder, Recorder};
 pub use report::{SimReport, StageSummary};
 pub use sim::Simulation;
+
+// Send-bounds audit for the parallel sweep engine (`ff-bench::pool`):
+// grid workers build a `Simulation` from a shared `&SimConfig`/trace and
+// send the finished `SimReport`/`EventLog` back over a channel, so these
+// types must stay `Send` (and the shared inputs `Sync`). Compile-time
+// assertions — a lost auto-trait (e.g. an `Rc` or a raw pointer sneaking
+// into a report field) fails the build here, with a named culprit,
+// instead of deep inside a pool closure.
+#[cfg(test)]
+mod send_audit {
+    use super::*;
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn grid_task_inputs_are_sync() {
+        assert_sync::<SimConfig>();
+        assert_sync::<FaultPlan>();
+        assert_sync::<RetryPolicy>();
+    }
+
+    #[test]
+    fn grid_task_outputs_are_send() {
+        assert_send::<SimConfig>();
+        assert_send::<SimReport>();
+        assert_send::<StageSummary>();
+        assert_send::<EventLog>();
+        assert_send::<CountingRecorder>();
+        assert_send::<NullRecorder>();
+        assert_send::<Event>();
+        assert_send::<FaultPlan>();
+        assert_send::<Battery>();
+    }
+}

@@ -61,6 +61,30 @@ doc_step() {
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 }
 
+# Build the handbook with mdBook when it is installed, else with the
+# workspace's std-only fallback builder; the link check always uses
+# ff-book (stock mdBook does not verify links).
+handbook_step() {
+    if command -v mdbook >/dev/null 2>&1; then
+        mdbook build docs
+    else
+        cargo run -q -p ff-book -- build docs
+    fi && cargo run -q -p ff-book -- check docs
+}
+
+# The parallel sweep engine's acceptance gate: the full benchsim grid
+# serially vs on 8 workers must serialise byte-identically (benchpar
+# exits non-zero otherwise), with the honest speedup recorded in
+# bench/BENCH_parallel.json.
+# bench/BENCH_parallel.json (the committed record) is regenerated
+# explicitly; the gate here writes to results/ so a local check run
+# does not dirty the tree with fresh timings.
+parallel_step() {
+    mkdir -p results
+    cargo run --release -q -p ff-bench --bin benchpar -- --jobs 8 \
+        --out results/BENCH_parallel.json
+}
+
 run_step "cargo fmt --all --check" cargo fmt --all --check
 run_step "ff-lint (ratchet vs crates/ff-lint/baseline.json)" lint_step
 run_step "cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)" doc_step
@@ -75,6 +99,12 @@ run_step "chaos suite (fault-injection invariants)" cargo test -q --test chaos
 # extracted machines, with every static edge exercised.
 run_step "trace conformance (static<->dynamic replay)" \
     cargo test -q --test lint committed_traces_conform
+# The doctests are the handbook's executable walkthroughs (FaultPlan,
+# run_recorded, the sweep grid, the lint driver); `cargo test -q` above
+# already ran them, but a doc regression should be its own red line.
+run_step "doctests (cargo test --doc)" cargo test -q --doc --workspace
+run_step "handbook (mdbook-or-ff-book build + link check)" handbook_step
+run_step "parallel-determinism (benchpar: jobs=1 vs jobs=8 byte-identical)" parallel_step
 
 if (( ${#failed_steps[@]} > 0 )); then
     echo "==> ${#failed_steps[@]} check(s) FAILED:" >&2

@@ -1,0 +1,186 @@
+//! The parallel deterministic sweep engine's tier-1 contract.
+//!
+//! The engine (`ff-bench::pool` + `ff-bench::grid`) promises that a
+//! scenario × policy × seed grid produces **byte-identical** output at
+//! any `--jobs` setting: tasks own derived RNG streams
+//! (`derive_seed(base, task_key)`), workers steal freely, and results
+//! merge in canonical task order. These tests pin:
+//!
+//! 1. the full `benchsim` grid serialising identically at `--jobs 1`
+//!    and `--jobs 8` (the acceptance gate `scripts/check.sh` re-runs at
+//!    release scale as its `parallel-determinism` step);
+//! 2. the RNG stream derivation: a cross-platform golden fixture of
+//!    derived seeds and each stream's first eight draws, and pairwise
+//!    non-collision over the full grid;
+//! 3. the chaos matrix and the figure sweeps behaving identically
+//!    under the pool.
+
+use ff_base::{derive_seed, task_rng};
+use ff_bench::grid::{sim_matrix_json, Grid};
+use ff_bench::observe::{POLICIES, WORKLOADS};
+use rand::Rng;
+
+/// The acceptance criterion: the same grid at `--jobs 1` and
+/// `--jobs 8` must serialise byte-identically. This is scheduling
+/// independence, not hardware parallelism — it holds (and matters) on
+/// any core count.
+#[test]
+fn full_sim_grid_is_byte_identical_at_jobs_1_and_8() {
+    let serial = sim_matrix_json(42, 1).unwrap().to_pretty();
+    let parallel = sim_matrix_json(42, 8).unwrap().to_pretty();
+    assert!(
+        serial == parallel,
+        "jobs=1 and jobs=8 BENCH_sim documents diverged"
+    );
+    // The document is the real schema-2 artifact shape.
+    let doc = ff_base::json::Value::parse(&serial).unwrap();
+    assert_eq!(doc.get("schema").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        doc.get("cells").and_then(|c| c.as_array()).map(|c| c.len()),
+        Some(30)
+    );
+}
+
+/// Golden fixture: derived seeds and first-8 draws are pinned so the
+/// derivation can never drift across platforms or refactors without a
+/// deliberate fixture update (every recorded experiment would shift).
+#[test]
+fn derived_streams_match_the_golden_fixture() {
+    let golden: [(&str, u64, [u64; 8]); 4] = [
+        (
+            "grep/disk/42",
+            0xf1e90da545bfb84d,
+            [
+                1275595120970518099,
+                7827206488832878694,
+                10377415865171424528,
+                5947064932496897055,
+                16764916252355537247,
+                11857799215581742705,
+                18070125492911647269,
+                6246479061671973925,
+            ],
+        ),
+        (
+            "grep/flexfetch/42",
+            0xc7a7150913d8694c,
+            [
+                776153251446119198,
+                7535738883032607476,
+                7975857300282814831,
+                18274562038939854711,
+                4743509981987653225,
+                3169328178074822146,
+                9777223284184563793,
+                15387772239147713680,
+            ],
+        ),
+        (
+            "xmms/wnic/7",
+            0x3e7f3492a03b66b8,
+            [
+                17444366930597324380,
+                702371258073678069,
+                17184702262956345695,
+                11793697803529085187,
+                17594592002181573865,
+                15586496491788921230,
+                11478288672680019287,
+                14212392000841600545,
+            ],
+        ),
+        (
+            "acroread/flexfetch-static/42",
+            0x23191b2baf75e629,
+            [
+                3062890523947649705,
+                13957685218254224446,
+                9339625523788462862,
+                9818641729182659128,
+                6375874136204434757,
+                10239827027296880935,
+                478027578837132778,
+                4462382600069575304,
+            ],
+        ),
+    ];
+    let base = 42u64;
+    for (key, seed, draws) in golden {
+        assert_eq!(
+            derive_seed(base, key),
+            seed,
+            "derived seed drifted for {key}"
+        );
+        let mut rng = task_rng(base, key);
+        let got: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+        assert_eq!(got, draws, "stream drifted for {key}");
+    }
+}
+
+/// Derived per-task streams must be pairwise non-colliding over the
+/// full grid — for the grid keys themselves and for several base
+/// seeds, and the streams (not just the seeds) must differ.
+#[test]
+fn derived_streams_are_pairwise_non_colliding_over_the_full_grid() {
+    for base in [0u64, 1, 42, 0xDEAD_BEEF, u64::MAX] {
+        let mut seeds = Vec::new();
+        for w in WORKLOADS {
+            for p in POLICIES {
+                for s in [base, base.wrapping_add(1)] {
+                    seeds.push(derive_seed(base, &format!("{w}/{p}/{s}")));
+                }
+            }
+        }
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "stream collision at base {base}");
+    }
+    // Distinct seeds must mean distinct streams, not just distinct ids.
+    let a: Vec<u64> = (0..4).map(|_| task_rng(42, "grep/disk/42").gen()).collect();
+    let b: Vec<u64> = (0..4).map(|_| task_rng(42, "grep/disk/43").gen()).collect();
+    assert_ne!(a, b);
+}
+
+/// The chaos matrix is grid-shaped too: the pool must not change a
+/// single cell. (A 2×2×2 corner keeps the debug-build runtime sane;
+/// `benchfaults --jobs` covers the full matrix at release scale.)
+#[test]
+fn fault_matrix_is_identical_at_any_job_count() {
+    let collect = |jobs| {
+        ff_bench::fault_matrix(
+            &["grep", "thunderbird"],
+            &["disk", "flexfetch"],
+            &["baseline", "link-outage"],
+            42,
+            jobs,
+        )
+        .unwrap()
+        .into_iter()
+        .map(|c| {
+            let json =
+                ff_bench::cell_json(&c.workload, &c.policy, &c.scenario, &c.run, &c.violations);
+            (c.workload, c.policy, c.scenario, json.to_pretty())
+        })
+        .collect::<Vec<_>>()
+    };
+    let serial = collect(1);
+    assert_eq!(serial.len(), 8);
+    assert_eq!(serial, collect(8));
+}
+
+/// A grid error does not deadlock the pool and surfaces the canonical
+/// first failure.
+#[test]
+fn grid_failure_is_reported_not_hung() {
+    let g = Grid::new(1)
+        .workloads(["grep", "no-such-workload"])
+        .policies(["disk"])
+        .seeds([1]);
+    let err = g
+        .run(8, |cell| {
+            ff_bench::observe::build_workload(&cell.workload, cell.seed)
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("no-such-workload"), "{err}");
+}

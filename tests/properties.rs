@@ -225,6 +225,33 @@ proptest! {
         }
     }
 
+    /// Derived per-task RNG streams (the parallel sweep engine's
+    /// source of task-private randomness) never collide for distinct
+    /// keys, and re-deriving the same key is stable. FNV-1a over a
+    /// 64-bit space could collide in principle, but a collision among
+    /// realistic task keys would silently correlate two grid cells —
+    /// so we hunt for one over random key sets.
+    #[test]
+    fn derived_streams_are_distinct_and_stable(
+        base in any::<u64>(),
+        raw_keys in proptest::collection::vec("[a-z/0-9]{3,24}", 2..12)
+    ) {
+        let mut keys: Vec<String> = raw_keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let mut seeds: Vec<u64> = keys
+            .iter()
+            .map(|k| flexfetch::base::derive_seed(base, k))
+            .collect();
+        for (k, &s) in keys.iter().zip(&seeds) {
+            prop_assert_eq!(flexfetch::base::derive_seed(base, k), s);
+        }
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        prop_assert_eq!(seeds.len(), n, "derived seed collision within key set");
+    }
+
     /// Closed-loop replay preserves think times: the run can never finish
     /// faster than the sum of the trace's inter-call gaps (per process
     /// group), whatever the devices do. (Note: raising WNIC latency is
