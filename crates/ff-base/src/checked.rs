@@ -1,0 +1,89 @@
+//! Checked numeric conversions and guarded ratios.
+//!
+//! The `arith-safety` lint family (ff-lint wave 4) flags raw `as`
+//! narrowing, float→integer truncation, and divisions whose divisor may
+//! be zero. These helpers are the blessed replacements: total functions
+//! with explicit, documented saturation/zero behaviour, so call sites
+//! stay one expression and the policy lives in one place.
+
+/// `num / den` as `f64`, defined as `0.0` when the denominator is zero.
+///
+/// The workspace convention for empty-population ratios (cache hit
+/// ratio over zero lookups, mean over zero samples) is zero, not NaN.
+///
+/// ```
+/// assert!((ff_base::checked::ratio(3, 4) - 0.75).abs() < 1e-12);
+/// assert!(ff_base::checked::ratio(3, 0).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// `f64` → `u64`, saturating at the type bounds; NaN maps to zero.
+///
+/// A plain `as u64` cast already saturates in Rust, but silently: this
+/// spelling marks the truncation as deliberate and survives the
+/// float-taint check.
+///
+/// ```
+/// assert_eq!(ff_base::checked::f64_to_u64(1234.9), 1234);
+/// assert_eq!(ff_base::checked::f64_to_u64(-5.0), 0);
+/// assert_eq!(ff_base::checked::f64_to_u64(f64::NAN), 0);
+/// ```
+#[inline]
+pub fn f64_to_u64(x: f64) -> u64 {
+    if x.is_nan() {
+        0
+    } else {
+        x as u64
+    }
+}
+
+/// `u64` → `u32`, saturating at `u32::MAX` instead of wrapping.
+///
+/// ```
+/// assert_eq!(ff_base::checked::u64_to_u32(7), 7);
+/// assert_eq!(ff_base::checked::u64_to_u32(u64::MAX), u32::MAX);
+/// ```
+#[inline]
+pub fn u64_to_u32(x: u64) -> u32 {
+    if x > u32::MAX as u64 {
+        u32::MAX
+    } else {
+        x as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert!(ratio(10, 0).abs() < 1e-12);
+        assert!((ratio(1, 2) - 0.5).abs() < 1e-12);
+        assert!((ratio(u64::MAX, u64::MAX) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn f64_to_u64_saturates_and_absorbs_nan() {
+        assert_eq!(f64_to_u64(0.0), 0);
+        assert_eq!(f64_to_u64(-1e9), 0);
+        assert_eq!(f64_to_u64(1e300), u64::MAX);
+        assert_eq!(f64_to_u64(f64::INFINITY), u64::MAX);
+        assert_eq!(f64_to_u64(f64::NAN), 0);
+        assert_eq!(f64_to_u64(1000.999), 1000);
+    }
+
+    #[test]
+    fn u64_to_u32_saturates() {
+        assert_eq!(u64_to_u32(0), 0);
+        assert_eq!(u64_to_u32(u32::MAX as u64), u32::MAX);
+        assert_eq!(u64_to_u32(u32::MAX as u64 + 1), u32::MAX);
+    }
+}

@@ -33,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checked;
 pub mod dist;
 pub mod energy;
 pub mod json;

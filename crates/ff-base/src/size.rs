@@ -67,6 +67,12 @@ impl Bytes {
     pub fn min(self, other: Bytes) -> Bytes {
         Bytes(self.0.min(other.0))
     }
+
+    /// Sum clamped at `u64::MAX` instead of wrapping.
+    #[inline]
+    pub fn saturating_add(self, other: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(other.0))
+    }
 }
 
 impl Add for Bytes {

@@ -9,6 +9,7 @@
 
 use crate::pool;
 use crate::scenarios::Scenario;
+use ff_base::checked;
 use ff_base::{Dur, Result};
 use ff_policy::PolicyKind;
 use ff_sim::{SimConfig, Simulation};
@@ -100,7 +101,7 @@ pub fn bandwidth_sweep_jobs(
         .flat_map(|(pi, _)| {
             bandwidths_mbps
                 .iter()
-                .map(move |&b| (pi, (b * 1000.0) as u64))
+                .map(move |&b| (pi, checked::f64_to_u64(b * 1000.0)))
         })
         .collect();
     run_points(scenario, policies, &points, jobs, |milli_mbps| {

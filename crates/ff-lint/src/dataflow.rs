@@ -45,7 +45,7 @@ pub enum Dim {
 }
 
 impl Dim {
-    fn label(self) -> &'static str {
+    pub(crate) fn label(self) -> &'static str {
         match self {
             Dim::Time(u) => u.label(),
             Dim::Joules => "j",
@@ -54,7 +54,7 @@ impl Dim {
     }
 
     /// Dimension implied by an identifier's suffix.
-    fn of_ident(name: &str) -> Option<Dim> {
+    pub(crate) fn of_ident(name: &str) -> Option<Dim> {
         if let Some(u) = Unit::of_ident(name) {
             return Some(Dim::Time(u));
         }

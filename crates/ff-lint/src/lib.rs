@@ -73,10 +73,32 @@
 //!     transition must be a static edge, and never-exercised static
 //!     edges surface as machine-readable coverage debt.
 //!
+//! A fourth wave ([`interval`], [`absint`]) is a numeric abstract
+//! interpretation — a signed-interval × sign × dimension product
+//! domain evaluated through `let` bindings, accumulator widening, and
+//! a two-round function-summary fixpoint, seeded with the Table 1/2
+//! constants:
+//!
+//! 16. **arith-safety** — division-by-zero freedom, `as` casts the
+//!     inferred interval cannot prove lossless, and unchecked `+`/`*`
+//!     on `_bytes`/`_us` counters where `saturating_*` or the
+//!     `ff_base::checked` helpers exist.
+//! 17. **energy-bounds** — every `_j` accumulation provably ≥ 0 and
+//!     battery `*drain*` functions monotone.
+//! 18. **timeout-order** — T_breakeven recomputed from the constant
+//!     registry with interval arithmetic, statically ordered below the
+//!     disk idle timeout and above the WNIC PSM knee, with the
+//!     outage-retry ladder clamped and its clamp ceiling above the
+//!     timeout.
+//!
 //! Findings ratchet against a committed [`baseline`]: the run fails only
 //! on findings the baseline does not accept, so existing debt is
-//! tracked without blocking the build, while regressions are.
+//! tracked without blocking the build, while regressions are. The
+//! linter's own regression net is [`mutgen`]: deterministic seed-derived
+//! mutants of the workspace sources, re-analysed in memory, with a
+//! per-family kill-score matrix ratcheted in CI.
 
+pub mod absint;
 pub mod baseline;
 pub mod callgraph;
 pub mod conformance;
@@ -84,7 +106,9 @@ pub mod consts;
 pub mod coverage;
 pub mod dataflow;
 pub mod fsm;
+pub mod interval;
 pub mod items;
+pub mod mutgen;
 pub mod product;
 pub mod rules;
 pub mod scan;
@@ -319,31 +343,42 @@ pub fn analyze(root: &Path) -> Result<Analysis> {
             root.display()
         )));
     }
-    let mut findings = rules::run_all(&sources);
-    let trees = items::build(&sources);
-    let graph = callgraph::Graph::build(&sources, &trees);
-    findings.extend(callgraph::panic_reachability(&sources, &trees, &graph));
-    let (fsm_tables, fsm_findings) = fsm::analyze(&sources, &trees);
+    Ok(analyze_sources(&sources, root))
+}
+
+/// Run every analysis wave over an already-collected source set.
+///
+/// Split out from [`analyze`] so the mutation engine ([`mutgen`]) can
+/// re-run all eighteen families against in-memory mutated sources
+/// without touching the filesystem (`root` is still needed by the
+/// trace-conformance pass, which replays committed JSONL traces).
+pub fn analyze_sources(sources: &[SourceFile], root: &Path) -> Analysis {
+    let mut findings = rules::run_all(sources);
+    let trees = items::build(sources);
+    let graph = callgraph::Graph::build(sources, &trees);
+    findings.extend(callgraph::panic_reachability(sources, &trees, &graph));
+    let (fsm_tables, fsm_findings) = fsm::analyze(sources, &trees);
     findings.extend(fsm_findings);
-    findings.extend(units::analyze(&sources, &trees));
-    findings.extend(dataflow::analyze(&sources, &trees));
-    findings.extend(consts::analyze(&sources));
-    findings.extend(coverage::analyze(&sources, &trees, &fsm_tables));
-    let (product, product_findings) = product::analyze(&sources, &fsm_tables);
+    findings.extend(units::analyze(sources, &trees));
+    findings.extend(dataflow::analyze(sources, &trees));
+    findings.extend(consts::analyze(sources));
+    findings.extend(coverage::analyze(sources, &trees, &fsm_tables));
+    let (product, product_findings) = product::analyze(sources, &fsm_tables);
     findings.extend(product_findings);
-    findings.extend(taint::analyze(&sources, &trees));
+    findings.extend(taint::analyze(sources, &trees));
+    findings.extend(absint::analyze(sources, &trees));
     let (trace_coverage, conformance_findings) = conformance::analyze(root, &fsm_tables);
     findings.extend(conformance_findings);
     findings.sort_by(|a, b| {
         (a.rule, &a.file, a.line, &a.token).cmp(&(b.rule, &b.file, b.line, &b.token))
     });
-    Ok(Analysis {
+    Analysis {
         findings,
         fsm_tables,
         product,
         trace_coverage,
         files_scanned: sources.len(),
-    })
+    }
 }
 
 /// Scan the workspace under `root` and produce all findings.
@@ -366,7 +401,7 @@ pub fn collect_findings(root: &Path) -> Result<(Vec<Finding>, usize)> {
 /// let report = ff_lint::run(&root, &baseline).unwrap();
 ///
 /// assert!(report.files_scanned > 50, "scanned {}", report.files_scanned);
-/// // All fifteen families ran; nothing beyond the accepted ratchet.
+/// // All eighteen families ran; nothing beyond the accepted ratchet.
 /// assert!(report.delta.new.is_empty(), "{:?}", report.delta.new);
 /// ```
 pub fn run(root: &Path, baseline: &Baseline) -> Result<Report> {

@@ -4,11 +4,13 @@
 //! cargo run -p ff-lint -- [--json] [--github] [--families] [--root PATH]
 //!                         [--baseline PATH] [--update-baseline] [--forbid-stale]
 //!                         [--sarif PATH] [--export-product PATH]
+//!                         [--killscore PATH] [--seed N]
 //! ```
 //!
 //! Exit codes: `0` clean (no findings beyond the baseline), `1` new
-//! findings (or, under `--forbid-stale`, a stale baseline), `2` usage
-//! or I/O error.
+//! findings (or, under `--forbid-stale`, a stale baseline; or, under
+//! `--killscore`, a family below its kill-rate floor), `2` usage or
+//! I/O error.
 
 use ff_base::json::Value;
 use ff_lint::{default_baseline_path, default_root, Baseline, Report, Rule};
@@ -25,6 +27,8 @@ struct Args {
     forbid_stale: bool,
     sarif: Option<PathBuf>,
     export_product: Option<PathBuf>,
+    killscore: Option<PathBuf>,
+    seed: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +42,8 @@ fn parse_args() -> Result<Args, String> {
         forbid_stale: false,
         sarif: None,
         export_product: None,
+        killscore: None,
+        seed: ff_lint::mutgen::DEFAULT_SEED,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -63,6 +69,17 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or("--export-product requires a path")?,
                 ));
             }
+            "--killscore" => {
+                args.killscore = Some(PathBuf::from(
+                    it.next().ok_or("--killscore requires a path")?,
+                ));
+            }
+            "--seed" => {
+                let raw = it.next().ok_or("--seed requires an integer")?;
+                args.seed = raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: `{raw}` is not a u64"))?;
+            }
             "--help" | "-h" => {
                 return Err(String::new());
             }
@@ -78,7 +95,7 @@ ff-lint: static analysis for the FlexFetch workspace
 USAGE:
     ff-lint [--json] [--github] [--families] [--root PATH] [--baseline PATH]
             [--update-baseline] [--forbid-stale] [--sarif PATH]
-            [--export-product PATH]
+            [--export-product PATH] [--killscore PATH] [--seed N]
 
 OPTIONS:
     --json              emit the machine-readable JSON report on stdout
@@ -91,10 +108,18 @@ OPTIONS:
     --forbid-stale      fail when the baseline lists debt that no longer
                         exists (it is stale relative to --update-baseline)
     --sarif PATH        also write a SARIF 2.1.0 document for GitHub code
-                        scanning (new findings as errors, baselined as notes)
+                        scanning (new findings at their family severity,
+                        baselined debt as notes)
     --export-product PATH
                         also write the explored product-state automaton
                         (components, alphabet, reachability, recoveries)
+    --killscore PATH    run the mutation engine instead of a plain scan:
+                        apply every probe mutant in memory, re-run all
+                        eighteen families per mutant, write the per-family
+                        kill matrix to PATH and fail if any family's kill
+                        rate is below its recorded floor
+    --seed N            occurrence-selection seed for --killscore
+                        (default: the committed CI seed)
 ";
 
 fn main() -> ExitCode {
@@ -113,6 +138,36 @@ fn main() -> ExitCode {
     if args.families {
         for rule in Rule::all() {
             println!("{}", rule.as_str());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.killscore {
+        let matrix = match ff_lint::mutgen::run(&args.root, args.seed) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("ff-lint: mutation engine: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(path, matrix.to_json()) {
+            eprintln!("ff-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        let killed = matrix.mutants.iter().filter(|m| m.killed).count();
+        eprintln!(
+            "ff-lint: {}/{} mutant(s) killed (seed {}); matrix at {}",
+            killed,
+            matrix.mutants.len(),
+            matrix.seed,
+            path.display()
+        );
+        let violations = matrix.floor_violations();
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("ff-lint: kill-rate floor violated — {v}");
+            }
+            return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
     }
@@ -236,9 +291,11 @@ fn gha_escape(s: &str) -> String {
 }
 
 /// Render the report as a SARIF 2.1.0 document for GitHub code
-/// scanning. Findings beyond the baseline are `error`-level results;
-/// baselined debt is included at `note` level so the scanning UI shows
-/// the full inventory without failing the upload.
+/// scanning. Each rule carries its family severity as the SARIF
+/// `defaultConfiguration` level, and findings beyond the baseline are
+/// reported at that family severity; baselined debt is included at
+/// `note` level so the scanning UI shows the full inventory without
+/// failing the upload.
 fn to_sarif(report: &Report) -> Value {
     let new: Vec<&ff_lint::Finding> = report
         .delta
@@ -252,6 +309,10 @@ fn to_sarif(report: &Report) -> Value {
             Value::Object(vec![
                 ("id".into(), Value::Str(r.as_str().into())),
                 ("name".into(), Value::Str(r.as_str().replace('-', "_"))),
+                (
+                    "defaultConfiguration".into(),
+                    Value::Object(vec![("level".into(), Value::Str(r.severity().into()))]),
+                ),
             ])
         })
         .collect();
@@ -260,7 +321,7 @@ fn to_sarif(report: &Report) -> Value {
         .iter()
         .map(|f| {
             let level = if new.iter().any(|n| *n == f) {
-                "error"
+                f.rule.severity()
             } else {
                 "note"
             };

@@ -1,4 +1,4 @@
-//! The fifteen rule families.
+//! The eighteen rule families.
 //!
 //! Every rule emits [`Finding`]s keyed by `(rule, file, token)`. Line
 //! numbers are reported for humans but are *not* part of the baseline
@@ -61,6 +61,19 @@ pub enum Rule {
     /// Replayed observe/chaos JSONL traces must only take transitions
     /// the static product automaton contains.
     TraceConformance,
+    /// Interval-proven arithmetic safety: division-by-zero freedom,
+    /// lossy `as` casts the inferred range cannot justify, and
+    /// unchecked `+`/`*` on `_bytes`/`_us` counters where saturating or
+    /// `ff_base::checked` alternatives exist.
+    ArithSafety,
+    /// Every `_j`/energy accumulation must be provably non-negative and
+    /// battery drain functions monotone (abstract-interpretation wave).
+    EnergyBounds,
+    /// Statically prove the §3 timeout ordering — T_breakeven < disk
+    /// idle timeout < outage-retry clamp ceiling, PSM knee below the
+    /// disk knee — from the Table 1/2 registry, and that every backoff
+    /// ladder shift is clamped and overflow-free.
+    TimeoutOrder,
 }
 
 impl Rule {
@@ -82,11 +95,14 @@ impl Rule {
             Rule::ProductFsm => "fsm-product",
             Rule::NondetTaint => "nondet-taint",
             Rule::TraceConformance => "trace-conformance",
+            Rule::ArithSafety => "arith-safety",
+            Rule::EnergyBounds => "energy-bounds",
+            Rule::TimeoutOrder => "timeout-order",
         }
     }
 
     /// All families, in report order.
-    pub fn all() -> [Rule; 15] {
+    pub fn all() -> [Rule; 18] {
         [
             Rule::Determinism,
             Rule::PanicSafety,
@@ -103,12 +119,37 @@ impl Rule {
             Rule::ProductFsm,
             Rule::NondetTaint,
             Rule::TraceConformance,
+            Rule::ArithSafety,
+            Rule::EnergyBounds,
+            Rule::TimeoutOrder,
         ]
     }
 
     /// Parse a stable id back into a rule.
     pub fn from_str_id(s: &str) -> Option<Rule> {
         Rule::all().into_iter().find(|r| r.as_str() == s)
+    }
+
+    /// SARIF severity level for the family.
+    ///
+    /// Families whose findings falsify the model (a panic, a broken
+    /// invariant, a provably-wrong range) export as `error`; style and
+    /// drift families export as `warning`; the inventory family as
+    /// `note`.
+    pub fn severity(self) -> &'static str {
+        match self {
+            Rule::PanicSafety
+            | Rule::PanicReach
+            | Rule::ModelInvariants
+            | Rule::Fsm
+            | Rule::ProductFsm
+            | Rule::TraceConformance
+            | Rule::ArithSafety
+            | Rule::EnergyBounds
+            | Rule::TimeoutOrder => "error",
+            Rule::Hygiene => "note",
+            _ => "warning",
+        }
     }
 }
 

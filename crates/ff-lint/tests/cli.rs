@@ -60,13 +60,20 @@ fn json_report_is_byte_identical_across_runs() {
 }
 
 #[test]
-fn families_flag_lists_all_twelve_rule_ids() {
+fn families_flag_lists_all_eighteen_rule_ids() {
     let out = ff_lint().arg("--families").output().expect("spawn");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     let families: Vec<&str> = text.lines().collect();
-    assert_eq!(families.len(), 12, "families: {families:?}");
-    for id in ["unit-flow-interproc", "const-provenance", "event-coverage"] {
+    assert_eq!(families.len(), 18, "families: {families:?}");
+    for id in [
+        "unit-flow-interproc",
+        "const-provenance",
+        "event-coverage",
+        "arith-safety",
+        "energy-bounds",
+        "timeout-order",
+    ] {
         assert!(families.contains(&id), "missing {id} in {families:?}");
     }
 }

@@ -1,239 +1,131 @@
-//! Mutation-style self-test of the semantic rule families.
+//! Mutation self-test of every rule family, driven by the automated
+//! engine in [`ff_lint::mutgen`].
 //!
-//! Each fixture under `tests/fixtures/mutations/` is a deliberately
-//! broken snippet paired with a clean twin: a millisecond value crossing
-//! a microsecond call boundary, a Table 1 constant shadowed by a bare
-//! literal, a state change committed without a meter call, and an FSM
-//! with a deleted arm. The harness copies each pair into a synthetic
-//! workspace tree and asserts that the intended rule family fires on
-//! the mutant — with the exact token the docs promise — and stays
-//! silent on the twin. This is the regression net that keeps the
-//! analyses from rotting into always-green: if a detector stops seeing
-//! its defect class, the mutant test fails.
+//! Earlier revisions kept handcrafted mutant/clean fixture pairs under
+//! `tests/fixtures/mutations/`. Those twins rotted whenever a detector
+//! changed shape and covered only six families. The engine replaces
+//! them: deterministic, seed-derived mutants (operator flips, constant
+//! perturbations, guard removals, transition drops) are applied to the
+//! real workspace sources *in memory*, all eighteen families re-run per
+//! mutant, and a mutant counts as killed only when every family it was
+//! aimed at reports a finding beyond the committed baseline.
+//!
+//! The tests here are the regression net that keeps the analyses from
+//! rotting into always-green: if a detector stops seeing its defect
+//! class, its probe survives and the kill-rate floor fails the build.
 
-use ff_lint::{analyze, Rule};
+use ff_lint::mutgen::{self, KillMatrix};
+use ff_lint::Rule;
 use std::path::PathBuf;
 
-const UNIT_FLOW_MUTANT: &str = include_str!("fixtures/mutations/unit_flow_mutant.rs");
-const UNIT_FLOW_CLEAN: &str = include_str!("fixtures/mutations/unit_flow_clean.rs");
-const CONST_SHADOW_MUTANT: &str = include_str!("fixtures/mutations/const_shadow_mutant.rs");
-const CONST_SHADOW_CLEAN: &str = include_str!("fixtures/mutations/const_shadow_clean.rs");
-const COVERAGE_MUTANT: &str = include_str!("fixtures/mutations/coverage_mutant.rs");
-const COVERAGE_CLEAN: &str = include_str!("fixtures/mutations/coverage_clean.rs");
-const FSM_ARM_MUTANT: &str = include_str!("fixtures/mutations/fsm_arm_mutant.rs");
-const FSM_ARM_CLEAN: &str = include_str!("fixtures/mutations/fsm_arm_clean.rs");
-const PRODUCT_MUTANT: &str = include_str!("fixtures/mutations/product_mutant.rs");
-const PRODUCT_CLEAN: &str = include_str!("fixtures/mutations/product_clean.rs");
-const TAINT_MUTANT: &str = include_str!("fixtures/mutations/taint_mutant.rs");
-const TAINT_CLEAN: &str = include_str!("fixtures/mutations/taint_clean.rs");
-const CONFORMANCE_MUTANT: &str = include_str!("fixtures/mutations/conformance_mutant.jsonl");
-const CONFORMANCE_CLEAN: &str = include_str!("fixtures/mutations/conformance_clean.jsonl");
-
-/// The real constant registry, copied into trees that carry ff-device
-/// sources so the provenance family's registry-drift gate sees the
-/// canonical file and only the planted defect can fire.
-const REGISTRY: &str = include_str!("../../ff-device/src/consts.rs");
-const REGISTRY_PATH: &str = "crates/ff-device/src/consts.rs";
-
-const DISK_GOOD: &str = include_str!("fixtures/disk_good.rs");
-
-fn temp_tree(name: &str, files: &[(&str, &str)]) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("ff-lint-mutations-{name}"));
-    for (rel, contents) in files {
-        let path = dir.join(rel);
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).expect("mkdir");
-        }
-        std::fs::write(&path, contents).expect("write");
-    }
-    dir
+fn root() -> PathBuf {
+    ff_lint::default_root()
 }
 
-fn tokens(dir: &PathBuf, rule: Rule) -> Vec<String> {
-    let analysis = analyze(dir).expect("analyze");
-    analysis
-        .findings
+fn run() -> KillMatrix {
+    mutgen::run(&root(), mutgen::DEFAULT_SEED).expect("mutation engine")
+}
+
+#[test]
+fn every_probe_is_killed() {
+    let matrix = run();
+    let survivors: Vec<&str> = matrix
+        .mutants
         .iter()
-        .filter(|f| f.rule == rule)
-        .map(|f| f.token.clone())
-        .collect()
+        .filter(|m| !m.killed)
+        .map(|m| m.id.as_str())
+        .collect();
+    assert!(
+        survivors.is_empty(),
+        "surviving mutants (detector regressed): {survivors:?}"
+    );
 }
 
-/// The semantic families with mutation twins; the per-pair tests
-/// assert that a mutant trips its own family and none of the others.
-const SEMANTIC: [Rule; 6] = [
-    Rule::UnitFlowInterproc,
-    Rule::ConstProvenance,
-    Rule::EventCoverage,
-    Rule::ProductFsm,
-    Rule::NondetTaint,
-    Rule::TraceConformance,
-];
-
-fn assert_only(dir: &PathBuf, fired: Rule, expected: &[&str]) {
-    for rule in SEMANTIC {
-        let got = tokens(dir, rule);
-        if rule == fired {
-            assert_eq!(got, expected, "{} tokens", rule.as_str());
-        } else {
-            assert!(
-                got.is_empty(),
-                "{} should be silent: {got:?}",
-                rule.as_str()
-            );
-        }
-    }
-}
-
-fn assert_semantic_silent(dir: &PathBuf) {
-    for rule in SEMANTIC {
-        let got = tokens(dir, rule);
+#[test]
+fn every_family_has_a_probe_and_meets_its_floor() {
+    let matrix = run();
+    assert_eq!(matrix.families.len(), Rule::all().len());
+    for fam in &matrix.families {
         assert!(
-            got.is_empty(),
-            "{} should be silent: {got:?}",
-            rule.as_str()
+            fam.probes > 0,
+            "{}: no probe aims at this family",
+            fam.rule.as_str()
+        );
+        assert!(
+            fam.rate() >= fam.floor,
+            "{}: kill rate {:.2} below floor {:.2}",
+            fam.rule.as_str(),
+            fam.rate(),
+            fam.floor
         );
     }
+    assert!(matrix.floor_violations().is_empty());
 }
 
+/// The three wave-4 families must be killed at exactly 100 % — they are
+/// new and carry no grandfathered debt.
 #[test]
-fn unit_flow_interproc_fires_on_its_mutant_only() {
-    let path = "crates/ff-policy/src/prefetch_window.rs";
-    let mutant = temp_tree("unit-mutant", &[(path, UNIT_FLOW_MUTANT)]);
-    assert_only(&mutant, Rule::UnitFlowInterproc, &["call:arm_timer_us"]);
-
-    let clean = temp_tree("unit-clean", &[(path, UNIT_FLOW_CLEAN)]);
-    assert_semantic_silent(&clean);
-}
-
-#[test]
-fn const_provenance_fires_on_its_mutant_only() {
-    let path = "crates/ff-device/src/spindown_table.rs";
-    let mutant = temp_tree(
-        "const-mutant",
-        &[(REGISTRY_PATH, REGISTRY), (path, CONST_SHADOW_MUTANT)],
-    );
-    assert_only(
-        &mutant,
-        Rule::ConstProvenance,
-        &["shadow:DISK_SPINDOWN_ENERGY_J"],
-    );
-
-    let clean = temp_tree(
-        "const-clean",
-        &[(REGISTRY_PATH, REGISTRY), (path, CONST_SHADOW_CLEAN)],
-    );
-    assert_semantic_silent(&clean);
-}
-
-#[test]
-fn event_coverage_fires_on_its_mutant_only() {
-    let path = "crates/ff-device/src/gate.rs";
-    let mutant = temp_tree(
-        "coverage-mutant",
-        &[(REGISTRY_PATH, REGISTRY), (path, COVERAGE_MUTANT)],
-    );
-    assert_only(
-        &mutant,
-        Rule::EventCoverage,
-        &["unrecorded:GateState::Open->Shut"],
-    );
-
-    let clean = temp_tree(
-        "coverage-clean",
-        &[(REGISTRY_PATH, REGISTRY), (path, COVERAGE_CLEAN)],
-    );
-    assert_semantic_silent(&clean);
-}
-
-#[test]
-fn product_fsm_fires_on_its_mutant_only() {
-    // The mutant machine passes every single-machine FSM property —
-    // all states reachable, no deadlock, exhaustive match — but its
-    // MarkedDead state cycles through Drained forever instead of
-    // recovering, which only the product checker's temporal recovery
-    // obligation sees.
-    let path = "crates/ff-policy/src/failover.rs";
-    let mutant = temp_tree("product-mutant", &[(path, PRODUCT_MUTANT)]);
-    assert_only(
-        &mutant,
-        Rule::ProductFsm,
-        &["no-recovery:ServerPathState::MarkedDead"],
-    );
-
-    let clean = temp_tree("product-clean", &[(path, PRODUCT_CLEAN)]);
-    assert_semantic_silent(&clean);
-}
-
-#[test]
-fn nondet_taint_fires_on_its_mutant_only() {
-    let path = "crates/ff-bench/src/export.rs";
-    let mutant = temp_tree("taint-mutant", &[(path, TAINT_MUTANT)]);
-    assert_only(&mutant, Rule::NondetTaint, &["render<-hash-iteration"]);
-
-    let clean = temp_tree("taint-clean", &[(path, TAINT_CLEAN)]);
-    assert_semantic_silent(&clean);
-}
-
-#[test]
-fn trace_conformance_fires_on_its_mutant_only() {
-    // Both trees carry the clean server-path machine; only the traces
-    // differ. The mutant trace jumps Healthy -> MarkedDead directly,
-    // skipping the observable Down state the recorder would have
-    // emitted — a static<->dynamic divergence.
-    let machine = "crates/ff-policy/src/failover.rs";
-    let mutant = temp_tree(
-        "conformance-mutant",
-        &[
-            (machine, PRODUCT_CLEAN),
-            ("bench/trace.jsonl", CONFORMANCE_MUTANT),
-        ],
-    );
-    assert_only(
-        &mutant,
-        Rule::TraceConformance,
-        &["runtime-only:server:Healthy->MarkedDead"],
-    );
-
-    let clean = temp_tree(
-        "conformance-clean",
-        &[
-            (machine, PRODUCT_CLEAN),
-            ("bench/trace.jsonl", CONFORMANCE_CLEAN),
-        ],
-    );
-    assert_semantic_silent(&clean);
-}
-
-#[test]
-fn fsm_fires_on_its_mutant_only() {
-    // The FSM family needs both canonical machines present, so the wnic
-    // pair rides alongside the known-good disk fixture. The synthetic
-    // device sources carry their parameter tables as literals, which
-    // trips other families by design — here only the FSM verdict is
-    // under test, so the assertions are per-family.
-    let mutant = temp_tree(
-        "fsm-mutant",
-        &[
-            ("crates/ff-device/src/disk.rs", DISK_GOOD),
-            ("crates/ff-device/src/wnic.rs", FSM_ARM_MUTANT),
-        ],
-    );
-    let got = tokens(&mutant, Rule::Fsm);
-    for want in [
-        "nonexhaustive:WnicState",
-        "deadlock:WnicState::ToCam",
-        "unreachable:WnicState::Cam",
-    ] {
-        assert!(got.iter().any(|t| t == want), "missing {want} in {got:?}");
+fn wave4_families_kill_all_their_probes() {
+    let matrix = run();
+    for rule in [Rule::ArithSafety, Rule::EnergyBounds, Rule::TimeoutOrder] {
+        let fam = matrix
+            .families
+            .iter()
+            .find(|f| f.rule == rule)
+            .unwrap_or_else(|| panic!("{} missing from matrix", rule.as_str()));
+        assert_eq!(
+            fam.kills,
+            fam.probes,
+            "{}: {}/{} probes killed",
+            rule.as_str(),
+            fam.kills,
+            fam.probes
+        );
+        assert!(fam.probes > 0);
     }
+}
 
-    let clean = temp_tree(
-        "fsm-clean",
-        &[
-            ("crates/ff-device/src/disk.rs", DISK_GOOD),
-            ("crates/ff-device/src/wnic.rs", FSM_ARM_CLEAN),
-        ],
+/// Same seed ⇒ byte-identical mutant set and kill matrix. The engine is
+/// part of the deterministic surface: CI regenerates the matrix and
+/// diffs it against the committed artifact.
+#[test]
+fn engine_is_deterministic_for_a_seed() {
+    let a = run().to_json();
+    let b = run().to_json();
+    assert_eq!(a, b, "same seed produced different kill matrices");
+}
+
+/// The committed artifact in `results/lint-killscore.json` must match
+/// what the engine produces at the default seed, so the checked-in
+/// matrix can never drift from the code.
+#[test]
+fn committed_matrix_matches_a_fresh_run() {
+    let path = root().join("results/lint-killscore.json");
+    let committed =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    let fresh = run().to_json();
+    assert_eq!(
+        committed.trim_end(),
+        fresh.trim_end(),
+        "results/lint-killscore.json is stale — regenerate with \
+         `cargo run -p ff-lint -- --killscore results/lint-killscore.json`"
     );
-    assert_eq!(tokens(&clean, Rule::Fsm), Vec::<String>::new());
+}
+
+/// A different seed may pick different occurrences for `Auto` probes
+/// but must still produce a well-formed, fully-killed matrix.
+#[test]
+fn alternate_seed_still_kills_everything() {
+    let matrix = mutgen::run(&root(), 0xDEAD_BEEF).expect("mutation engine");
+    assert_eq!(matrix.seed, 0xDEAD_BEEF);
+    assert!(
+        matrix.mutants.iter().all(|m| m.killed),
+        "alternate-seed survivors: {:?}",
+        matrix
+            .mutants
+            .iter()
+            .filter(|m| !m.killed)
+            .map(|m| m.id.as_str())
+            .collect::<Vec<_>>()
+    );
 }

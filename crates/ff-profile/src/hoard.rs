@@ -88,7 +88,7 @@ impl HoardPlanner {
         };
         for (meta, _) in ranked {
             if plan.hoarded_bytes + meta.size <= self.budget {
-                plan.hoarded_bytes += meta.size;
+                plan.hoarded_bytes = plan.hoarded_bytes.saturating_add(meta.size);
                 plan.hoarded.insert(meta.id);
             } else {
                 plan.missed.insert(meta.id);

@@ -49,8 +49,12 @@ impl Battery {
         report.total_energy() + self.base_power * report.exec_time
     }
 
-    /// Fraction of the pack one task consumed, in percent.
+    /// Fraction of the pack one task consumed, in percent (zero for a
+    /// degenerate zero-capacity pack).
     pub fn task_drain_pct(&self, report: &SimReport) -> f64 {
+        if self.capacity_wh <= 0.0 {
+            return 0.0;
+        }
         self.task_drain(report).get() / (self.capacity_wh * 3600.0) * 100.0
     }
 
@@ -62,10 +66,14 @@ impl Battery {
         Dur::from_secs_f64(self.capacity_wh * 3600.0 / total)
     }
 
-    /// Relative lifetime extension of `better` over `worse`, in percent.
+    /// Relative lifetime extension of `better` over `worse`, in percent
+    /// (zero when the reference lifetime degenerates to zero).
     pub fn extension_pct(&self, better: &SimReport, worse: &SimReport) -> f64 {
         let a = self.lifetime(better).as_secs_f64();
         let b = self.lifetime(worse).as_secs_f64();
+        if b <= 0.0 {
+            return 0.0;
+        }
         (a / b - 1.0) * 100.0
     }
 

@@ -949,12 +949,12 @@ impl<'t, 'r> Runner<'t, 'r> {
         match source {
             Source::Disk => {
                 self.disk_requests += 1;
-                self.disk_bytes += req.bytes;
+                self.disk_bytes = self.disk_bytes.saturating_add(req.bytes);
                 self.disk.service(at, &req)
             }
             Source::Wnic => {
                 self.wnic_requests += 1;
-                self.wnic_bytes += req.bytes;
+                self.wnic_bytes = self.wnic_bytes.saturating_add(req.bytes);
                 self.wnic.service(at, &req)
             }
         }
@@ -998,7 +998,7 @@ impl<'t, 'r> Runner<'t, 'r> {
                     cur = out.complete;
                     energy += out.energy;
                     self.flash_requests += 1;
-                    self.flash_bytes += req.bytes;
+                    self.flash_bytes = self.flash_bytes.saturating_add(req.bytes);
                 }
             }
             app_done = app_done.max(cur);
@@ -1148,7 +1148,7 @@ impl<'t, 'r> Runner<'t, 'r> {
                     cur = out.complete;
                     energy += out.energy;
                     self.flash_requests += 1;
-                    self.flash_bytes += bytes;
+                    self.flash_bytes = self.flash_bytes.saturating_add(bytes);
                 }
                 let mut spilled = Vec::new();
                 for pg in run.0.index..run.0.index + run.1 {
@@ -1352,7 +1352,7 @@ impl<'t, 'r> Runner<'t, 'r> {
             };
             policy.on_stage_end(&ctx, &report);
         }
-        let fetched_now = self.disk_bytes + self.wnic_bytes;
+        let fetched_now = self.disk_bytes.saturating_add(self.wnic_bytes);
         let fetched = fetched_now.saturating_sub(self.stage_bytes_mark);
         self.stage_summaries.push(crate::report::StageSummary {
             index: self.stage_index,

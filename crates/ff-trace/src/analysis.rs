@@ -35,7 +35,7 @@ impl DurStats {
         }
         samples.sort_unstable();
         let count = samples.len();
-        let pick = |q: f64| samples[((count - 1) as f64 * q) as usize];
+        let pick = |q: f64| samples[ff_base::checked::f64_to_u64((count - 1) as f64 * q) as usize];
         let sum: u64 = samples.iter().map(|d| d.as_micros()).sum();
         Some(DurStats {
             count,
@@ -43,7 +43,7 @@ impl DurStats {
             p50: pick(0.5),
             p90: pick(0.9),
             max: samples[count - 1],
-            mean: Dur::from_micros(sum / count as u64),
+            mean: Dur::from_micros(sum / count.max(1) as u64),
         })
     }
 }
@@ -91,9 +91,9 @@ pub fn analyze(trace: &Trace) -> TraceAnalysis {
         }
         last_extent.insert(r.file.0, r.end_offset());
         *per_file.entry(r.file.0).or_default() += r.len.get();
-        total_bytes += r.len.get();
+        total_bytes = total_bytes.saturating_add(r.len.get());
         if r.op == IoOp::Read {
-            read_bytes += r.len.get();
+            read_bytes = read_bytes.saturating_add(r.len.get());
         }
     }
 

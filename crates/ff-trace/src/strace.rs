@@ -119,8 +119,8 @@ pub fn from_str(text: &str) -> Result<Trace> {
                 });
             }
         };
-        let pid = parse_u64(toks.next(), line_no, "pid")? as u32;
-        let pgid = parse_u64(toks.next(), line_no, "pgid")? as u32;
+        let pid = ff_base::checked::u64_to_u32(parse_u64(toks.next(), line_no, "pid")?);
+        let pgid = ff_base::checked::u64_to_u32(parse_u64(toks.next(), line_no, "pgid")?);
         let inode = parse_u64(toks.next(), line_no, "inode")?;
         let offset = parse_u64(toks.next(), line_no, "offset")?;
         let len = parse_u64(toks.next(), line_no, "len")?;

@@ -66,7 +66,7 @@ pub(crate) fn partition_sizes(
     let spread = total - min * n as u64;
     let mut sizes: Vec<u64> = weights
         .iter()
-        .map(|w| min + (w / wsum * spread as f64) as u64)
+        .map(|w| min + ff_base::checked::f64_to_u64(w / wsum * spread as f64))
         .collect();
     // Hand the integer-truncation remainder to the first file.
     let assigned: u64 = sizes.iter().sum();

@@ -104,7 +104,7 @@ impl Workload for Make {
 
         // Compile loop.
         for (i, &src) in sources.iter().enumerate() {
-            let pid = MAKE_PID_BASE + (i as u32 % MAKE_PID_POOL);
+            let pid = MAKE_PID_BASE + (ff_base::checked::u64_to_u32(i as u64) % MAKE_PID_POOL);
             b.read_file(pid, src, Bytes::kib(32));
             let n_inc = rng.gen_range(self.includes.0..=self.includes.1);
             for &h in headers.choose_multiple(&mut rng, n_inc) {

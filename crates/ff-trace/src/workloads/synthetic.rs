@@ -99,7 +99,7 @@ impl Workload for Synthetic {
         let min_size = self.chunk.get().max(4096);
         let sizes: Vec<u64> = weights
             .iter()
-            .map(|w| ((w / wsum) * self.total_bytes as f64) as u64)
+            .map(|w| ff_base::checked::f64_to_u64((w / wsum) * self.total_bytes as f64))
             .map(|s| s.max(min_size))
             .collect();
         let files: Vec<_> = sizes

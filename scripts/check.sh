@@ -72,6 +72,22 @@ handbook_step() {
     fi && cargo run -q -p ff-book -- check docs
 }
 
+# The mutation engine's ratchet gate: regenerate the kill-score matrix
+# at the committed seed and fail when any family's kill rate falls
+# below its recorded floor (the binary exits non-zero on a violation).
+# The matrix lands in results/ so CI can upload it next to the product
+# automaton.
+killscore_step() {
+    mkdir -p results
+    if cargo run -q -p ff-lint -- --killscore results/lint-killscore.json; then
+        echo "    kill matrix: results/lint-killscore.json"
+        return 0
+    fi
+    echo "error: a rule family's mutation kill rate fell below its" >&2
+    echo "       recorded floor; see results/lint-killscore.json" >&2
+    return 1
+}
+
 # The parallel sweep engine's acceptance gate: the full benchsim grid
 # serially vs on 8 workers must serialise byte-identically (benchpar
 # exits non-zero otherwise), with the honest speedup recorded in
@@ -99,6 +115,12 @@ run_step "chaos suite (fault-injection invariants)" cargo test -q --test chaos
 # extracted machines, with every static edge exercised.
 run_step "trace conformance (static<->dynamic replay)" \
     cargo test -q --test lint committed_traces_conform
+# The abstract-interpretation engine's own gate: golden interval facts
+# plus the proptest soundness law (concrete evaluation always lands
+# inside the inferred interval).
+run_step "absint (golden interval facts + proptest soundness)" \
+    cargo test -q --test absint
+run_step "mutation-killscore (kill-rate ratchet vs recorded floors)" killscore_step
 # The doctests are the handbook's executable walkthroughs (FaultPlan,
 # run_recorded, the sweep grid, the lint driver); `cargo test -q` above
 # already ran them, but a doc regression should be its own red line.

@@ -112,12 +112,14 @@ fn fsm_family_is_pinned_at_zero() {
 
 #[test]
 fn semantic_families_are_pinned_at_zero() {
-    // The second and third semantic waves — interprocedural unit flow,
-    // constant provenance, event coverage, the product-state checker,
-    // nondeterminism taint, and trace conformance — started life with no
-    // accepted debt, and this gate keeps it that way: empty in the
-    // baseline AND empty in the tree, so any regression fails tier-1
-    // rather than ratcheting.
+    // The second, third and fourth semantic waves — interprocedural
+    // unit flow, constant provenance, event coverage, the product-state
+    // checker, nondeterminism taint, trace conformance, and the three
+    // abstract-interpretation families (arithmetic safety, energy
+    // bounds, timeout ordering) — started life with no accepted debt,
+    // and this gate keeps it that way: empty in the baseline AND empty
+    // in the tree, so any regression fails tier-1 rather than
+    // ratcheting.
     let root = workspace_root();
     let baseline = committed_baseline(&root);
     let (findings, _) = ff_lint::collect_findings(&root).expect("scan succeeds");
@@ -128,6 +130,9 @@ fn semantic_families_are_pinned_at_zero() {
         Rule::ProductFsm,
         Rule::NondetTaint,
         Rule::TraceConformance,
+        Rule::ArithSafety,
+        Rule::EnergyBounds,
+        Rule::TimeoutOrder,
     ] {
         assert!(
             baseline.is_empty_for(rule),
@@ -316,8 +321,8 @@ fn cli_exits_zero_on_the_clean_workspace() {
             .any(|r| r.get("rule").and_then(|v| v.as_str()) == Some("panic-reachability")),
         "missing panic-reachability family in: {text}"
     );
-    // Wave 3: fifteen families, plus the product and conformance nodes.
-    assert_eq!(by_rule.len(), 15, "expected fifteen rule families: {text}");
+    // Wave 4: eighteen families, plus the product and conformance nodes.
+    assert_eq!(by_rule.len(), 18, "expected eighteen rule families: {text}");
     let product = doc.get("product").expect("product node");
     assert_eq!(
         product.get("states").and_then(|v| v.as_u64()),
@@ -371,6 +376,39 @@ fn cli_writes_sarif_and_product_exports() {
         components.len() >= 3,
         "expected the disk, wnic and server machines: {product}"
     );
+}
+
+#[test]
+fn mutation_kill_rates_meet_the_ratchet_floor() {
+    // The ratchet gate of the mutation engine: every probe mutant must
+    // be detected at a per-family rate no lower than the recorded floor
+    // in `ff_lint::mutgen::FLOORS`, and the three wave-4 families —
+    // being brand new — must kill 100 % of their probes. A detector
+    // regression lowers a rate below its floor and fails tier-1.
+    let root = workspace_root();
+    let matrix =
+        ff_lint::mutgen::run(&root, ff_lint::mutgen::DEFAULT_SEED).expect("mutation engine");
+    let violations = matrix.floor_violations();
+    assert!(
+        violations.is_empty(),
+        "kill-rate floors violated:\n{}",
+        violations.join("\n")
+    );
+    for rule in [Rule::ArithSafety, Rule::EnergyBounds, Rule::TimeoutOrder] {
+        let fam = matrix
+            .families
+            .iter()
+            .find(|f| f.rule == rule)
+            .unwrap_or_else(|| panic!("{} missing from the kill matrix", rule.as_str()));
+        assert!(fam.probes > 0, "{}: no probes", rule.as_str());
+        assert_eq!(
+            fam.kills,
+            fam.probes,
+            "{}: kill rate {:.2} — a new family must kill every probe",
+            rule.as_str(),
+            fam.rate()
+        );
+    }
 }
 
 #[test]
